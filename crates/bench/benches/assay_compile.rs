@@ -1,0 +1,43 @@
+//! E2 kernel: full assay compilation (schedule + place + route).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mns_fluidics::assay::{multiplex_immunoassay, serial_dilution};
+use mns_fluidics::compiler::{compile, CompilerConfig};
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assay_compile");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    // 4-plex is the capacity of the default 16×16 array under the sound
+    // routing model; the 6-plex case runs on 24×24.
+    for &n in &[2usize, 4] {
+        let assay = multiplex_immunoassay(n);
+        let cfg = CompilerConfig::default();
+        group.bench_with_input(BenchmarkId::new("multiplex", n), &n, |b, _| {
+            b.iter(|| compile(&assay, &cfg).expect("compilable"));
+        });
+    }
+    {
+        let assay = multiplex_immunoassay(6);
+        let cfg = CompilerConfig {
+            grid_width: 24,
+            grid_height: 24,
+            ..CompilerConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("multiplex_24x24", 6usize), &6, |b, _| {
+            b.iter(|| compile(&assay, &cfg).expect("compilable"));
+        });
+    }
+    for &steps in &[2usize, 4] {
+        let assay = serial_dilution(steps);
+        let cfg = CompilerConfig::default();
+        group.bench_with_input(BenchmarkId::new("dilution", steps), &steps, |b, _| {
+            b.iter(|| compile(&assay, &cfg).expect("compilable"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E3 kernel: exact ZDD mining versus Cheng–Church.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mns_bicluster::cheng_church::{cheng_church, ChengChurchConfig};
+use mns_bicluster::discretize::binarize_with_threshold;
+use mns_bicluster::zdd_miner::{enumerate_maximal, MinerConfig};
+use mns_biosensor::expression::{generate, SyntheticDatasetConfig};
+
+fn bench_biclustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("biclustering");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for &(genes, samples) in &[(100usize, 50usize), (300, 100)] {
+        let cfg = SyntheticDatasetConfig {
+            genes,
+            samples,
+            bicluster_count: 3,
+            bicluster_rows: genes / 10,
+            bicluster_cols: samples / 8,
+            ..SyntheticDatasetConfig::default()
+        };
+        let data = generate(&cfg, 42);
+        let label = format!("{genes}x{samples}");
+        let binary = binarize_with_threshold(&data.matrix, 3.0);
+        let miner_cfg = MinerConfig {
+            min_rows: cfg.bicluster_rows / 2,
+            min_cols: cfg.bicluster_cols / 2,
+            ..MinerConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("zdd_exact", &label), &label, |b, _| {
+            b.iter(|| enumerate_maximal(&binary, &miner_cfg));
+        });
+        let cc_cfg = ChengChurchConfig {
+            count: 3,
+            ..ChengChurchConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("cheng_church", &label), &label, |b, _| {
+            b.iter(|| cheng_church(&data.matrix, &cc_cfg, 42));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_biclustering);
+criterion_main!(benches);

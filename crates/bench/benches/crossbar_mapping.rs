@@ -1,0 +1,24 @@
+//! E11 kernel: defect-tolerant mapping onto nano-crossbars.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mns_crossbar::array::CrossbarArray;
+use mns_crossbar::logic::LogicFunction;
+use mns_crossbar::mapping::map_function;
+
+fn bench_mapping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossbar_mapping");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &(terms, redundancy) in &[(12usize, 2.0f64), (24, 2.0), (48, 2.0)] {
+        let rows = (terms as f64 * redundancy) as usize;
+        let fabric = CrossbarArray::with_defects(rows, 16, 0.1, 0.5, 42);
+        let f = LogicFunction::random(16, terms, 4, 7);
+        group.bench_with_input(BenchmarkId::new("map", terms), &terms, |b, _| {
+            b.iter(|| map_function(&fabric, &f));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! A1 kernel: decision-diagram operations with the computed cache on and
+//! off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mns_dd::{BddManager, ZddManager};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_dd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dd_ablation");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for cache in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::new("zdd_union_maximal", cache),
+            &cache,
+            |b, &cache| {
+                b.iter(|| {
+                    let mut rng = ChaCha8Rng::seed_from_u64(7);
+                    let mut m = ZddManager::new(64);
+                    m.set_cache_enabled(cache);
+                    let mut family = m.empty();
+                    for _ in 0..1_000 {
+                        let set: Vec<u32> = (0..64).filter(|_| rng.gen_bool(0.12)).collect();
+                        let s = m.from_set(&set);
+                        family = m.union(family, s);
+                    }
+                    let mx = m.maximal(family);
+                    m.count(mx)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bdd_random_conjunction", cache),
+            &cache,
+            |b, &cache| {
+                b.iter(|| {
+                    let mut rng = ChaCha8Rng::seed_from_u64(9);
+                    let mut m = BddManager::new(40);
+                    m.set_cache_enabled(cache);
+                    let mut f = m.one();
+                    for _ in 0..60 {
+                        let v1 = rng.gen_range(0..40);
+                        let v2 = rng.gen_range(0..40);
+                        let a = m.var(v1);
+                        let b2 = m.nvar(v2);
+                        let clause = m.or(a, b2);
+                        f = m.and(f, clause);
+                    }
+                    m.sat_count(f)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dd);
+criterion_main!(benches);

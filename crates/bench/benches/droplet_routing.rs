@@ -1,0 +1,61 @@
+//! E1/A2 kernel: concurrent versus serial droplet routing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mns_fluidics::workload::{random_routing_instance, RoutingWorkload};
+use mns_fluidics::{route_concurrent, route_serial, RoutingConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("droplet_routing");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for &droplets in &[4usize, 8, 16] {
+        let mut rng = ChaCha8Rng::seed_from_u64(42 ^ droplets as u64);
+        let (grid, requests) = random_routing_instance(
+            &RoutingWorkload {
+                grid_side: 24,
+                droplets,
+            },
+            &mut rng,
+        );
+        let cfg = RoutingConfig::default();
+        group.bench_with_input(
+            BenchmarkId::new("concurrent", droplets),
+            &droplets,
+            |b, _| {
+                b.iter(|| route_concurrent(&grid, &requests, &cfg).expect("routable"));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("serial", droplets), &droplets, |b, _| {
+            b.iter(|| route_serial(&grid, &requests, &cfg).expect("routable"));
+        });
+    }
+    // A2: lookahead window cost.
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA2);
+    let (grid, requests) = random_routing_instance(
+        &RoutingWorkload {
+            grid_side: 24,
+            droplets: 12,
+        },
+        &mut rng,
+    );
+    for lookahead in [0u32, 1, 2] {
+        let cfg = RoutingConfig {
+            lookahead,
+            ..RoutingConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("lookahead", lookahead),
+            &lookahead,
+            |b, _| {
+                b.iter(|| route_concurrent(&grid, &requests, &cfg).expect("routable"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

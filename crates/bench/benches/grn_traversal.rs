@@ -1,0 +1,51 @@
+//! E5 kernel: explicit state enumeration versus implicit BDD traversal.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mns_grn::dynamics::sync_attractors;
+use mns_grn::random::{random_network, RandomNetworkConfig};
+use mns_grn::symbolic::SymbolicDynamics;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn net(genes: usize) -> mns_grn::BooleanNetwork {
+    let mut rng = ChaCha8Rng::seed_from_u64(42 ^ genes as u64);
+    random_network(
+        &RandomNetworkConfig {
+            genes,
+            regulators: 2,
+            bias: 0.5,
+        },
+        &mut rng,
+    )
+}
+
+fn bench_traversal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grn_traversal");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for &genes in &[10usize, 14, 16] {
+        let network = net(genes);
+        group.bench_with_input(BenchmarkId::new("explicit", genes), &genes, |b, _| {
+            b.iter(|| sync_attractors(&network, Some(20)).expect("within cap"));
+        });
+    }
+    for &genes in &[10usize, 16, 24, 32] {
+        let network = net(genes);
+        group.bench_with_input(BenchmarkId::new("symbolic", genes), &genes, |b, _| {
+            b.iter(|| {
+                let mut sym = SymbolicDynamics::new(&network);
+                sym.fixed_point_count()
+            });
+        });
+    }
+    // T-helper fate analysis end-to-end.
+    let th = mns_grn::models::t_helper();
+    group.bench_function("thelper_fates", |b| {
+        b.iter(|| mns_grn::models::th_fates(&th).expect("analysis"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_traversal);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E10 kernel: 30-day harvesting simulation per management policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mns_wsn::harvest::{simulate_harvesting, DutyPolicy, HarvestConfig};
+
+fn bench_harvesting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("harvesting");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let cfg = HarvestConfig::default();
+    for p in [
+        DutyPolicy::Fixed(0.5),
+        DutyPolicy::Greedy {
+            threshold: 0.3,
+            duty_high: 0.9,
+            duty_low: 0.05,
+        },
+        DutyPolicy::EnergyNeutral { alpha: 0.01 },
+    ] {
+        group.bench_with_input(BenchmarkId::new("30_days", p.label()), &p, |b, p| {
+            b.iter(|| simulate_harvesting(*p, &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_harvesting);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E8 kernel: packet simulation on 2-D versus 3-D meshes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mns_noc::graph::CommGraph;
+use mns_noc::routing::compute_routes;
+use mns_noc::sim::{simulate, SimConfig};
+use mns_noc::topology::Topology;
+
+fn bench_noc3d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noc3d");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let app = CommGraph::uniform(64, 1.0);
+    let cfg = SimConfig {
+        warmup: 500,
+        measure: 3_000,
+        ..SimConfig::default()
+    };
+    for (name, topo) in [
+        ("mesh_8x8", Topology::mesh2d(8, 8)),
+        ("mesh_4x4x4", Topology::mesh3d(4, 4, 4)),
+    ] {
+        let routes = compute_routes(&topo, &app).expect("routable");
+        group.bench_with_input(BenchmarkId::new("simulate", name), &name, |b, _| {
+            b.iter(|| simulate(&topo, &app, &routes, 0.0002, &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_noc3d);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E7/A3 kernel: topology synthesis and route computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mns_noc::graph::CommGraph;
+use mns_noc::routing::compute_routes;
+use mns_noc::synthesis::{synthesize, Strategy, SynthesisConfig};
+use mns_noc::topology::Topology;
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noc_synthesis");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for &cores in &[16usize, 25, 36] {
+        let app = CommGraph::hotspot(cores, 1.0);
+        group.bench_with_input(BenchmarkId::new("min_cut", cores), &cores, |b, _| {
+            b.iter(|| synthesize(&app, &SynthesisConfig::default()));
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_merge", cores), &cores, |b, _| {
+            b.iter(|| {
+                synthesize(
+                    &app,
+                    &SynthesisConfig {
+                        strategy: Strategy::GreedyMerge,
+                        ..SynthesisConfig::default()
+                    },
+                )
+            });
+        });
+        let topo = synthesize(&app, &SynthesisConfig::default());
+        group.bench_with_input(BenchmarkId::new("routes_updown", cores), &cores, |b, _| {
+            b.iter(|| compute_routes(&topo, &app).expect("routable"));
+        });
+        let side = (cores as f64).sqrt() as usize;
+        let mesh = Topology::mesh2d(side, side);
+        group.bench_with_input(BenchmarkId::new("routes_xy", cores), &cores, |b, _| {
+            b.iter(|| compute_routes(&mesh, &app).expect("routable"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E9 kernel: lifetime simulation under the three protocols.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mns_wsn::field::Field;
+use mns_wsn::protocol::Protocol;
+use mns_wsn::sim::{simulate_lifetime, LifetimeConfig};
+
+fn bench_lifetime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wsn_lifetime");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let field = Field::random(100, 150.0, 42);
+    let cfg = LifetimeConfig {
+        max_rounds: 500,
+        ..LifetimeConfig::default()
+    };
+    for p in [
+        Protocol::Direct,
+        Protocol::tree(45.0, true),
+        Protocol::cluster(0.1, true),
+    ] {
+        group.bench_with_input(BenchmarkId::new("500_rounds", p.label()), &p, |b, p| {
+            b.iter(|| simulate_lifetime(&field, *p, &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lifetime);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Regenerates every experiment table of `EXPERIMENTS.md`.
+//!
+//! ```sh
+//! cargo run --release -p mns-bench --bin repro            # all experiments
+//! cargo run --release -p mns-bench --bin repro -- E3 E5   # a subset
+//! cargo run --release -p mns-bench --bin repro -- --seed 7
+//! ```
+
+use mns_bench::experiments;
+use mns_core::report::Table;
+
+fn main() {
+    let mut seed = 42u64;
+    let mut filters: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed needs an integer");
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: repro [--seed N] [E1 E2 … A1]");
+                return;
+            }
+            other => filters.push(other.to_uppercase()),
+        }
+    }
+
+    type Runner = fn(u64) -> Vec<Table>;
+    let runners: Vec<(&str, Runner)> = vec![
+        ("E1", experiments::e1_droplet_routing),
+        ("E2", experiments::e2_assay_and_sensing),
+        ("E3", experiments::e3_biclustering),
+        ("E4", experiments::e4_thelper),
+        ("E5", experiments::e5_traversal),
+        ("E6", experiments::e6_arabidopsis),
+        ("E7", experiments::e7_noc_synthesis),
+        ("E8", experiments::e8_noc3d),
+        ("E9", experiments::e9_wsn_lifetime),
+        ("E10", experiments::e10_harvesting),
+        ("E11", experiments::e11_crossbar),
+        ("A1", experiments::a1_dd_cache),
+        ("A4", experiments::a4_variable_order),
+    ];
+
+    println!("# micronano experiment reproduction (seed {seed})\n");
+    for (id, run) in runners {
+        if !filters.is_empty() && !filters.iter().any(|f| f == id) {
+            continue;
+        }
+        let start = std::time::Instant::now();
+        for table in run(seed) {
+            println!("{table}");
+        }
+        eprintln!("[{id} done in {:.1}s]", start.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,18 @@
+//! # mns-bench — the experiment reproduction harness
+//!
+//! One function per experiment of `EXPERIMENTS.md` (E1–E10 plus the
+//! A1–A3 ablations), each returning [`mns_core::report::Table`]s. The
+//! `repro` binary runs them all and prints markdown; the Criterion benches
+//! under `benches/` time the hot kernels of the same workloads.
+//!
+//! Because the reproduced paper is a keynote without numeric tables, each
+//! experiment here operationalizes one slide-level claim; the tables
+//! record the measured shape (who wins, how it scales) that
+//! `EXPERIMENTS.md` compares against the claim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::run_all;

@@ -1,0 +1,153 @@
+//! Match scoring against implanted ground truth (Prelić et al. 2006
+//! style, on cell sets).
+
+use mns_biosensor::GroundTruthBicluster;
+
+use crate::Bicluster;
+
+fn intersection_size(a: &[usize], b: &[usize]) -> usize {
+    // Both ascending.
+    let mut i = 0;
+    let mut j = 0;
+    let mut count = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Jaccard index of two biclusters over their *cell* sets
+/// (`rows × cols`); 1.0 = identical, 0.0 = disjoint.
+pub fn cell_jaccard(a: &Bicluster, b: &Bicluster) -> f64 {
+    let ri = intersection_size(&a.rows, &b.rows);
+    let ci = intersection_size(&a.cols, &b.cols);
+    let inter = ri * ci;
+    let union = a.area() + b.area() - inter;
+    if union == 0 {
+        return 0.0;
+    }
+    inter as f64 / union as f64
+}
+
+/// Scores of a found set against the implanted truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchScores {
+    /// Average over truth modules of their best Jaccard match — did we
+    /// find everything that was implanted?
+    pub recovery: f64,
+    /// Average over found biclusters of their best Jaccard match — is
+    /// what we report real?
+    pub relevance: f64,
+    /// Harmonic mean of recovery and relevance.
+    pub f1: f64,
+}
+
+/// Computes recovery / relevance / F1 of `found` against `truth`.
+/// Empty inputs score zero on the corresponding axis.
+pub fn score(truth: &[GroundTruthBicluster], found: &[Bicluster]) -> MatchScores {
+    let truth_b: Vec<Bicluster> = truth
+        .iter()
+        .map(|t| Bicluster::new(t.rows.clone(), t.cols.clone()))
+        .collect();
+    let best = |x: &Bicluster, pool: &[Bicluster]| -> f64 {
+        pool.iter()
+            .map(|y| cell_jaccard(x, y))
+            .fold(0.0, f64::max)
+    };
+    let recovery = if truth_b.is_empty() {
+        0.0
+    } else {
+        truth_b.iter().map(|t| best(t, found)).sum::<f64>() / truth_b.len() as f64
+    };
+    let relevance = if found.is_empty() {
+        0.0
+    } else {
+        found.iter().map(|f| best(f, &truth_b)).sum::<f64>() / found.len() as f64
+    };
+    let f1 = if recovery + relevance == 0.0 {
+        0.0
+    } else {
+        2.0 * recovery * relevance / (recovery + relevance)
+    };
+    MatchScores {
+        recovery,
+        relevance,
+        f1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bc(rows: &[usize], cols: &[usize]) -> Bicluster {
+        Bicluster::new(rows.to_vec(), cols.to_vec())
+    }
+
+    fn gt(rows: &[usize], cols: &[usize]) -> GroundTruthBicluster {
+        GroundTruthBicluster {
+            rows: rows.to_vec(),
+            cols: cols.to_vec(),
+        }
+    }
+
+    #[test]
+    fn jaccard_identical_and_disjoint() {
+        let a = bc(&[0, 1], &[0, 1]);
+        assert_eq!(cell_jaccard(&a, &a), 1.0);
+        let b = bc(&[2, 3], &[2, 3]);
+        assert_eq!(cell_jaccard(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn jaccard_partial_overlap() {
+        let a = bc(&[0, 1], &[0, 1]); // 4 cells
+        let b = bc(&[1, 2], &[1, 2]); // 4 cells, 1 shared
+        assert!((cell_jaccard(&a, &b) - 1.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_recovery_scores_one() {
+        let truth = vec![gt(&[0, 1], &[0, 1]), gt(&[5, 6], &[4, 5])];
+        let found = vec![bc(&[0, 1], &[0, 1]), bc(&[5, 6], &[4, 5])];
+        let s = score(&truth, &found);
+        assert_eq!(s.recovery, 1.0);
+        assert_eq!(s.relevance, 1.0);
+        assert_eq!(s.f1, 1.0);
+    }
+
+    #[test]
+    fn spurious_findings_hurt_relevance_only() {
+        let truth = vec![gt(&[0, 1], &[0, 1])];
+        let found = vec![bc(&[0, 1], &[0, 1]), bc(&[8, 9], &[8, 9])];
+        let s = score(&truth, &found);
+        assert_eq!(s.recovery, 1.0);
+        assert!(s.relevance < 0.6);
+        assert!(s.f1 < 1.0);
+    }
+
+    #[test]
+    fn missed_modules_hurt_recovery_only() {
+        let truth = vec![gt(&[0, 1], &[0, 1]), gt(&[8, 9], &[8, 9])];
+        let found = vec![bc(&[0, 1], &[0, 1])];
+        let s = score(&truth, &found);
+        assert_eq!(s.relevance, 1.0);
+        assert!((s.recovery - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let s = score(&[], &[]);
+        assert_eq!(s.f1, 0.0);
+        let s2 = score(&[gt(&[0], &[0])], &[]);
+        assert_eq!(s2.recovery, 0.0);
+    }
+}

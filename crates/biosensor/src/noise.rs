@@ -1,0 +1,12 @@
+//! Crate-private noise sampling shared by the sensor and dataset
+//! generators (one Box–Muller implementation, one place to fix).
+
+use rand::Rng;
+
+/// Draws a standard-normal sample scaled to `mean`/`sigma` (Box–Muller
+/// with a guard against log(0)).
+pub(crate) fn gaussian<R: Rng>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    mean + sigma * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}

@@ -1,0 +1,251 @@
+//! The end-to-end lab-on-chip pipeline (keynote slides 18–26).
+//!
+//! One call chains the keynote's "ultimate hybridization of technologies":
+//!
+//! 1. **Microfluidics** — a multiplexed immunoassay is scheduled, placed
+//!    and routed onto the electrode array ([`mns_fluidics::compile`]).
+//! 2. **Sensing** — each ground-truth expression level is converted to an
+//!    analyte concentration and read through the noisy, quantized sensor
+//!    array ([`mns_biosensor`]).
+//! 3. **Interpretation** — the measured matrix is discretized and the
+//!    maximal biclusters are enumerated exactly with ZDDs, then scored
+//!    against the implanted truth ([`mns_bicluster`]).
+//!
+//! The pipeline's report shows whether the *system* works: a perfect
+//! router is useless if sensing noise destroys the downstream clustering,
+//! which is precisely the keynote's argument for co-design.
+
+use std::error::Error;
+use std::fmt;
+
+use mns_bicluster::discretize::{binarize_with_threshold, BinaryMatrix};
+use mns_bicluster::score::{score, MatchScores};
+use mns_bicluster::zdd_miner::{enumerate_maximal, MinedBiclusters, MinerConfig};
+use mns_biosensor::array::{SensorArray, SensorConfig};
+use mns_biosensor::expression::{generate, SyntheticDataset, SyntheticDatasetConfig};
+use mns_biosensor::kinetics::BindingKinetics;
+use mns_biosensor::Matrix;
+use mns_fluidics::assay::multiplex_immunoassay;
+use mns_fluidics::compiler::{compile, CompileError, CompileStats, CompilerConfig};
+
+/// Pipeline parameters.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Synthetic biology: matrix shape and implanted modules.
+    pub dataset: SyntheticDatasetConfig,
+    /// Chip compilation parameters.
+    pub chip: CompilerConfig,
+    /// Sensor electronics.
+    pub sensor: SensorConfig,
+    /// Probe chemistry.
+    pub kinetics: BindingKinetics,
+    /// Reference concentration (molar) corresponding to one expression
+    /// unit.
+    pub unit_concentration: f64,
+    /// Miner thresholds.
+    pub miner: MinerConfig,
+    /// Number of samples transported per chip run (sets the assay width
+    /// used for the compile stats).
+    pub samples_per_run: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            dataset: SyntheticDatasetConfig {
+                genes: 60,
+                samples: 30,
+                bicluster_count: 3,
+                bicluster_rows: 8,
+                bicluster_cols: 6,
+                ..SyntheticDatasetConfig::default()
+            },
+            chip: CompilerConfig::default(),
+            sensor: SensorConfig::default(),
+            kinetics: BindingKinetics::dna_probe(),
+            unit_concentration: 2e-10,
+            miner: MinerConfig {
+                min_rows: 4,
+                min_cols: 3,
+                ..MinerConfig::default()
+            },
+            samples_per_run: 4,
+        }
+    }
+}
+
+/// End-to-end pipeline report.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Microfluidic compile statistics (schedule, routes, energy).
+    pub routing: CompileStats,
+    /// Mean absolute sensing error in expression units.
+    pub sensing_error: f64,
+    /// Mining result summary.
+    pub mining: MinedBiclusters,
+    /// Recovery/relevance of the mined biclusters versus the implanted
+    /// truth.
+    pub interpretation: MatchScores,
+}
+
+/// Pipeline failure.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The chip compile failed.
+    Chip(CompileError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Chip(e) => write!(f, "chip compilation: {e}"),
+        }
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::Chip(e) => Some(e),
+        }
+    }
+}
+
+impl From<CompileError> for PipelineError {
+    fn from(e: CompileError) -> Self {
+        PipelineError::Chip(e)
+    }
+}
+
+/// The computer-aided-diagnosis pipeline.
+#[derive(Debug, Clone)]
+pub struct LabChipPipeline {
+    config: PipelineConfig,
+}
+
+impl LabChipPipeline {
+    /// Creates a pipeline with the given configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        LabChipPipeline { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline with the given seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] if the assay cannot be compiled onto the
+    /// configured chip.
+    pub fn run(&self, seed: u64) -> Result<PipelineReport, PipelineError> {
+        let cfg = &self.config;
+
+        // 1. Compile the transport program for one multiplexed run.
+        let assay = multiplex_immunoassay(cfg.samples_per_run);
+        let compiled = compile(&assay, &cfg.chip)?;
+
+        // 2. Biology + sensing: implant ground truth, push every sample
+        //    through the sensor array.
+        let dataset: SyntheticDataset = generate(&cfg.dataset, seed);
+        let truth_matrix = &dataset.matrix;
+        let array = SensorArray::uniform(cfg.dataset.genes, cfg.kinetics, cfg.sensor);
+        let mut measured = Matrix::zeros(cfg.dataset.genes, cfg.dataset.samples);
+        let mut err_acc = 0.0;
+        for s in 0..cfg.dataset.samples {
+            let concentrations: Vec<f64> = (0..cfg.dataset.genes)
+                .map(|g| truth_matrix.get(g, s).max(0.0) * cfg.unit_concentration)
+                .collect();
+            let measure_seed = seed ^ 0x5E45_0001_0000_0000 ^ (s as u64);
+            let readings = array.measure(&concentrations, measure_seed);
+            for (g, &reading) in readings.iter().enumerate() {
+                // Calibrate back to expression units.
+                let est_c = array.calibrate(g, reading);
+                let est_expr = if est_c.is_finite() {
+                    est_c / cfg.unit_concentration
+                } else {
+                    // Saturated reading: clamp to the top of the scale.
+                    cfg.dataset.background + cfg.dataset.boost * 2.0
+                };
+                measured.set(g, s, est_expr);
+                err_acc += (est_expr - truth_matrix.get(g, s)).abs();
+            }
+        }
+        let sensing_error = err_acc / (cfg.dataset.genes * cfg.dataset.samples) as f64;
+
+        // 3. Interpretation: binarize measured data and mine exactly.
+        let threshold = cfg.dataset.background + cfg.dataset.boost / 2.0;
+        let binary: BinaryMatrix = binarize_with_threshold(&measured, threshold);
+        let mining = enumerate_maximal(&binary, &cfg.miner);
+        let interpretation = score(&dataset.truth, &mining.biclusters);
+
+        Ok(PipelineReport {
+            routing: compiled.stats,
+            sensing_error,
+            mining,
+            interpretation,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_pipeline_end_to_end() {
+        let report = LabChipPipeline::new(PipelineConfig::default())
+            .run(42)
+            .expect("pipeline runs");
+        assert!(report.routing.makespan > 0);
+        assert!(report.routing.energy > 0);
+        assert!(report.sensing_error.is_finite());
+        assert!(!report.mining.biclusters.is_empty());
+        assert!(
+            report.interpretation.recovery > 0.5,
+            "recovery {}",
+            report.interpretation.recovery
+        );
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let p = LabChipPipeline::new(PipelineConfig::default());
+        let a = p.run(9).unwrap();
+        let b = p.run(9).unwrap();
+        assert_eq!(a.mining.biclusters, b.mining.biclusters);
+        assert_eq!(a.sensing_error, b.sensing_error);
+    }
+
+    #[test]
+    fn noisier_sensor_degrades_interpretation() {
+        let clean = PipelineConfig::default();
+        let mut noisy = PipelineConfig::default();
+        noisy.sensor.read_noise = 0.2;
+        noisy.sensor.shot_coeff = 0.3;
+        noisy.sensor.sites_per_probe = 1;
+        let r_clean = LabChipPipeline::new(clean).run(5).unwrap();
+        let r_noisy = LabChipPipeline::new(noisy).run(5).unwrap();
+        assert!(r_noisy.sensing_error > r_clean.sensing_error);
+        assert!(r_noisy.interpretation.f1 <= r_clean.interpretation.f1 + 0.05);
+    }
+
+    #[test]
+    fn impossible_chip_reports_error() {
+        let mut cfg = PipelineConfig {
+            samples_per_run: 10,
+            ..PipelineConfig::default()
+        };
+        cfg.chip.grid_width = 6;
+        cfg.chip.grid_height = 6;
+        cfg.chip.max_latency_retries = 0;
+        // A 6×6 array cannot host a 10-plex assay's modules concurrently —
+        // either scheduling or routing fails, but cleanly.
+        match LabChipPipeline::new(cfg).run(1) {
+            Ok(r) => assert!(r.routing.makespan > 0), // scheduler serialized it
+            Err(PipelineError::Chip(_)) => {}
+        }
+    }
+}

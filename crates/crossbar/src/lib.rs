@@ -1,0 +1,46 @@
+//! # mns-crossbar — defect-tolerant logic on nanowire crossbar arrays
+//!
+//! Keynote slides 8–9: beyond-CMOS fabrics arrive as "high-density NW
+//! cross-bar arrays" whose price is "higher defect densities and failure
+//! rates" — so the design question becomes *how do we design with these
+//! technologies?* The canonical answer from the nano-architecture
+//! literature (Teramac, DeHon's nanoPLA) is defect *tolerance*: fabricate
+//! redundant rows, map each logic product term onto a row whose junctions
+//! happen to work, and route around the rest.
+//!
+//! This crate implements that flow:
+//!
+//! * [`mod@array`] — the crossbar fabric: junctions that can be programmed
+//!   on/off, with stuck-open and stuck-closed defects injected at a
+//!   configurable rate,
+//! * [`logic`] — two-level (PLA-style) logic functions as sets of product
+//!   terms over the column inputs,
+//! * [`mapping`] — term-to-row assignment as bipartite matching
+//!   (augmenting paths), plus Monte-Carlo yield estimation: the
+//!   probability that a random fabric instance can host a function, as a
+//!   function of defect rate and row redundancy (experiment E11).
+//!
+//! ## Example
+//!
+//! ```
+//! use mns_crossbar::array::CrossbarArray;
+//! use mns_crossbar::logic::LogicFunction;
+//! use mns_crossbar::mapping::map_function;
+//!
+//! let fabric = CrossbarArray::with_defects(12, 8, 0.05, 0.5, 7);
+//! let f = LogicFunction::random(8, 6, 3, 11);
+//! if let Some(mapping) = map_function(&fabric, &f) {
+//!     assert_eq!(mapping.row_of_term.len(), 6);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod logic;
+pub mod mapping;
+
+pub use array::{CrossbarArray, JunctionDefect};
+pub use logic::{LogicFunction, ProductTerm};
+pub use mapping::{map_function, mapping_yield, Mapping};

@@ -1,0 +1,234 @@
+//! Term-to-row assignment by bipartite matching.
+//!
+//! Each product term needs a row that can host its junction pattern
+//! ([`CrossbarArray::row_can_host`]); a fabric instance supports a
+//! function iff a perfect matching of terms to distinct rows exists.
+//! Kuhn's augmenting-path algorithm finds one in `O(terms · edges)` —
+//! ample for fabric sizes where Monte-Carlo yield sweeps run thousands of
+//! instances.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::array::CrossbarArray;
+use crate::logic::LogicFunction;
+
+/// A successful term-to-row assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mapping {
+    /// `row_of_term[t]` is the fabric row hosting term `t`.
+    pub row_of_term: Vec<usize>,
+}
+
+impl Mapping {
+    /// Verifies the assignment against a fabric and function: distinct
+    /// rows, every row able to host its term.
+    pub fn verify(&self, fabric: &CrossbarArray, f: &LogicFunction) -> bool {
+        if self.row_of_term.len() != f.terms().len() {
+            return false;
+        }
+        let mut used = vec![false; fabric.rows()];
+        for (t, &r) in self.row_of_term.iter().enumerate() {
+            if r >= fabric.rows() || used[r] {
+                return false;
+            }
+            used[r] = true;
+            if !fabric.row_can_host(r, f.terms()[t].0) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Attempts to map `f` onto `fabric`. Returns `None` when no assignment
+/// of terms to distinct compatible rows exists.
+pub fn map_function(fabric: &CrossbarArray, f: &LogicFunction) -> Option<Mapping> {
+    let terms = f.terms();
+    if terms.len() > fabric.rows() {
+        return None;
+    }
+    // Compatibility lists.
+    let compatible: Vec<Vec<usize>> = terms
+        .iter()
+        .map(|t| {
+            (0..fabric.rows())
+                .filter(|&r| fabric.row_can_host(r, t.0))
+                .collect()
+        })
+        .collect();
+
+    // Kuhn's algorithm: match terms (left) to rows (right).
+    let mut row_owner: Vec<Option<usize>> = vec![None; fabric.rows()];
+
+    fn try_assign(
+        t: usize,
+        compatible: &[Vec<usize>],
+        row_owner: &mut [Option<usize>],
+        visited: &mut [bool],
+    ) -> bool {
+        for &r in &compatible[t] {
+            if visited[r] {
+                continue;
+            }
+            visited[r] = true;
+            match row_owner[r] {
+                None => {
+                    row_owner[r] = Some(t);
+                    return true;
+                }
+                Some(other) => {
+                    if try_assign(other, compatible, row_owner, visited) {
+                        row_owner[r] = Some(t);
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    // Hardest terms (fewest compatible rows) first improves augmenting
+    // behaviour.
+    let mut order: Vec<usize> = (0..terms.len()).collect();
+    order.sort_by_key(|&t| compatible[t].len());
+    for &t in &order {
+        let mut visited = vec![false; fabric.rows()];
+        if !try_assign(t, &compatible, &mut row_owner, &mut visited) {
+            return None;
+        }
+    }
+
+    let mut row_of_term = vec![usize::MAX; terms.len()];
+    for (r, owner) in row_owner.iter().enumerate() {
+        if let Some(t) = *owner {
+            row_of_term[t] = r;
+        }
+    }
+    debug_assert!(row_of_term.iter().all(|&r| r != usize::MAX));
+    Some(Mapping { row_of_term })
+}
+
+/// Monte-Carlo mapping yield: the fraction of `trials` random fabric
+/// instances (at the given defect rate, half stuck-open) onto which a
+/// fresh random function maps successfully.
+///
+/// `redundancy` multiplies the row count: `rows = ceil(terms ·
+/// redundancy)`.
+///
+/// # Panics
+///
+/// Panics if any argument is degenerate (zero trials/terms, redundancy
+/// below 1, probabilities out of range).
+pub fn mapping_yield(
+    inputs: usize,
+    terms: usize,
+    literals: usize,
+    redundancy: f64,
+    defect_rate: f64,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    assert!(trials > 0 && terms > 0, "need work to do");
+    assert!(redundancy >= 1.0, "redundancy below 1 cannot fit the terms");
+    let rows = (terms as f64 * redundancy).ceil() as usize;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut successes = 0;
+    for trial in 0..trials {
+        let fabric_seed: u64 = rng.gen();
+        let func_seed: u64 = rng.gen();
+        let fabric = CrossbarArray::with_defects(rows, inputs, defect_rate, 0.5, fabric_seed);
+        let f = LogicFunction::random(inputs, terms, literals, func_seed);
+        if map_function(&fabric, &f).is_some() {
+            successes += 1;
+        }
+        let _ = trial;
+    }
+    successes as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::JunctionDefect;
+    use crate::logic::ProductTerm;
+
+    #[test]
+    fn perfect_fabric_always_maps() {
+        let fabric = CrossbarArray::perfect(6, 8);
+        let f = LogicFunction::random(8, 6, 3, 1);
+        let m = map_function(&fabric, &f).expect("perfect fabric");
+        assert!(m.verify(&fabric, &f));
+    }
+
+    #[test]
+    fn too_few_rows_fails() {
+        let fabric = CrossbarArray::perfect(3, 8);
+        let f = LogicFunction::random(8, 4, 2, 1);
+        assert!(map_function(&fabric, &f).is_none());
+    }
+
+    #[test]
+    fn matching_routes_around_defects() {
+        // Row 0 cannot host terms needing column 0; row 1 cannot host
+        // terms avoiding column 1. Terms are assigned so both fit anyway.
+        let mut fabric = CrossbarArray::perfect(2, 4);
+        fabric.inject(0, 0, JunctionDefect::StuckOpen);
+        fabric.inject(1, 1, JunctionDefect::StuckClosed);
+        let f = LogicFunction::new(
+            4,
+            vec![
+                ProductTerm(0b0011), // needs col 0 → must take row 1
+                ProductTerm(0b0110), // avoids col 0, includes col 1 → row 0 or 1
+            ],
+        );
+        let m = map_function(&fabric, &f).expect("matching exists");
+        assert!(m.verify(&fabric, &f));
+        assert_eq!(m.row_of_term[0], 1);
+        assert_eq!(m.row_of_term[1], 0);
+    }
+
+    #[test]
+    fn augmenting_path_reassigns_greedy_choices() {
+        // Term A fits rows {0,1}; term B fits only {0}: B must displace A.
+        let mut fabric = CrossbarArray::perfect(2, 2);
+        fabric.inject(1, 0, JunctionDefect::StuckOpen);
+        let f = LogicFunction::new(
+            2,
+            vec![
+                ProductTerm(0b10), // fits both rows
+                ProductTerm(0b01), // needs col 0 → only row 0
+            ],
+        );
+        let m = map_function(&fabric, &f).expect("matching exists");
+        assert!(m.verify(&fabric, &f));
+        assert_eq!(m.row_of_term[1], 0);
+        assert_eq!(m.row_of_term[0], 1);
+    }
+
+    #[test]
+    fn yield_decreases_with_defect_rate() {
+        let lo = mapping_yield(8, 6, 3, 1.5, 0.02, 200, 3);
+        let hi = mapping_yield(8, 6, 3, 1.5, 0.3, 200, 3);
+        assert!(lo > hi, "yield lo {lo} vs hi {hi}");
+        assert!(lo > 0.9);
+    }
+
+    #[test]
+    fn redundancy_buys_yield_back() {
+        let tight = mapping_yield(8, 6, 3, 1.0, 0.15, 300, 5);
+        let loose = mapping_yield(8, 6, 3, 3.0, 0.15, 300, 5);
+        assert!(
+            loose > tight,
+            "redundancy should raise yield: {tight} → {loose}"
+        );
+    }
+
+    #[test]
+    fn yield_is_deterministic() {
+        let a = mapping_yield(8, 5, 2, 2.0, 0.1, 100, 9);
+        let b = mapping_yield(8, 5, 2, 2.0, 0.1, 100, 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,1014 @@
+//! Reduced ordered binary decision diagrams.
+
+use std::collections::HashMap;
+
+use crate::node::{Arena, Ref, Var, TERMINAL_VAR};
+
+/// Binary-operation tags for the computed cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Op {
+    And,
+    Or,
+    Xor,
+    Not,
+    Ite,
+}
+
+/// A manager for reduced ordered BDDs over a fixed set of variables
+/// `0..num_vars` in natural order.
+///
+/// All functions produced by one manager share nodes; handles from
+/// different managers must not be mixed (doing so yields unspecified
+/// results, not memory unsafety).
+///
+/// ```
+/// use mns_dd::BddManager;
+/// let mut m = BddManager::new(2);
+/// let a = m.var(0);
+/// let na = m.not(a);
+/// let t = m.or(a, na);
+/// assert_eq!(t, mns_dd::Ref::ONE);
+/// ```
+#[derive(Debug)]
+pub struct BddManager {
+    arena: Arena,
+    cache: HashMap<(Op, Ref, Ref, Ref), Ref>,
+    cache_enabled: bool,
+    num_vars: Var,
+    cache_lookups: u64,
+    cache_hits: u64,
+}
+
+impl BddManager {
+    /// Creates a manager for variables `0..num_vars`.
+    pub fn new(num_vars: Var) -> Self {
+        BddManager {
+            arena: Arena::new(),
+            cache: HashMap::new(),
+            cache_enabled: true,
+            num_vars,
+            cache_lookups: 0,
+            cache_hits: 0,
+        }
+    }
+
+    /// Number of variables this manager was created with.
+    pub fn num_vars(&self) -> Var {
+        self.num_vars
+    }
+
+    /// Enables or disables the computed cache (ablation A1). Disabling also
+    /// clears it.
+    pub fn set_cache_enabled(&mut self, enabled: bool) {
+        self.cache_enabled = enabled;
+        if !enabled {
+            self.cache.clear();
+        }
+    }
+
+    /// `(lookups, hits)` counters for the computed cache.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache_lookups, self.cache_hits)
+    }
+
+    /// Live node count (including the two terminals).
+    pub fn live_nodes(&self) -> usize {
+        self.arena.live_count()
+    }
+
+    /// Peak live node count observed so far.
+    pub fn peak_nodes(&self) -> usize {
+        self.arena.peak_count()
+    }
+
+    /// The constant-true function.
+    pub fn one(&self) -> Ref {
+        Ref::ONE
+    }
+
+    /// The constant-false function.
+    pub fn zero(&self) -> Ref {
+        Ref::ZERO
+    }
+
+    /// The projection function for variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= num_vars`.
+    pub fn var(&mut self, v: Var) -> Ref {
+        assert!(v < self.num_vars, "variable {v} out of range");
+        self.make(v, Ref::ZERO, Ref::ONE)
+    }
+
+    /// The negated projection ¬v.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= num_vars`.
+    pub fn nvar(&mut self, v: Var) -> Ref {
+        assert!(v < self.num_vars, "variable {v} out of range");
+        self.make(v, Ref::ONE, Ref::ZERO)
+    }
+
+    fn make(&mut self, var: Var, lo: Ref, hi: Ref) -> Ref {
+        if lo == hi {
+            return lo; // BDD reduction rule
+        }
+        self.arena.intern(var, lo, hi)
+    }
+
+    fn level(&self, r: Ref) -> Var {
+        if r.is_terminal() {
+            TERMINAL_VAR
+        } else {
+            self.arena.var(r)
+        }
+    }
+
+    fn cofactors(&self, r: Ref, at: Var) -> (Ref, Ref) {
+        if self.level(r) == at {
+            let n = self.arena.node(r);
+            (n.lo, n.hi)
+        } else {
+            (r, r)
+        }
+    }
+
+    fn cache_get(&mut self, key: (Op, Ref, Ref, Ref)) -> Option<Ref> {
+        if !self.cache_enabled {
+            return None;
+        }
+        self.cache_lookups += 1;
+        let hit = self.cache.get(&key).copied();
+        if hit.is_some() {
+            self.cache_hits += 1;
+        }
+        hit
+    }
+
+    fn cache_put(&mut self, key: (Op, Ref, Ref, Ref), value: Ref) {
+        if self.cache_enabled {
+            self.cache.insert(key, value);
+        }
+    }
+
+    /// Clears the computed cache (handles stay valid).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Conjunction `f ∧ g`.
+    pub fn and(&mut self, f: Ref, g: Ref) -> Ref {
+        self.apply(Op::And, f, g)
+    }
+
+    /// Disjunction `f ∨ g`.
+    pub fn or(&mut self, f: Ref, g: Ref) -> Ref {
+        self.apply(Op::Or, f, g)
+    }
+
+    /// Exclusive or `f ⊕ g`.
+    pub fn xor(&mut self, f: Ref, g: Ref) -> Ref {
+        self.apply(Op::Xor, f, g)
+    }
+
+    /// Shared binary-apply skeleton for the commutative operators:
+    /// per-operator terminal short-circuits, then canonicalized caching,
+    /// Shannon cofactoring and hash-consing.
+    fn apply(&mut self, op: Op, f: Ref, g: Ref) -> Ref {
+        match op {
+            Op::And => match (f, g) {
+                (Ref::ZERO, _) | (_, Ref::ZERO) => return Ref::ZERO,
+                (Ref::ONE, x) | (x, Ref::ONE) => return x,
+                _ if f == g => return f,
+                _ => {}
+            },
+            Op::Or => match (f, g) {
+                (Ref::ONE, _) | (_, Ref::ONE) => return Ref::ONE,
+                (Ref::ZERO, x) | (x, Ref::ZERO) => return x,
+                _ if f == g => return f,
+                _ => {}
+            },
+            Op::Xor => match (f, g) {
+                (Ref::ZERO, x) | (x, Ref::ZERO) => return x,
+                (Ref::ONE, x) | (x, Ref::ONE) => return self.not(x),
+                _ if f == g => return Ref::ZERO,
+                _ => {}
+            },
+            Op::Not | Op::Ite => unreachable!("apply is for binary commutative ops"),
+        }
+        let (a, b) = if f <= g { (f, g) } else { (g, f) };
+        let key = (op, a, b, Ref::ZERO);
+        if let Some(r) = self.cache_get(key) {
+            return r;
+        }
+        let v = self.level(a).min(self.level(b));
+        let (a0, a1) = self.cofactors(a, v);
+        let (b0, b1) = self.cofactors(b, v);
+        let lo = self.apply(op, a0, b0);
+        let hi = self.apply(op, a1, b1);
+        let r = self.make(v, lo, hi);
+        self.cache_put(key, r);
+        r
+    }
+
+    /// Negation `¬f`.
+    pub fn not(&mut self, f: Ref) -> Ref {
+        match f {
+            Ref::ZERO => return Ref::ONE,
+            Ref::ONE => return Ref::ZERO,
+            _ => {}
+        }
+        let key = (Op::Not, f, Ref::ZERO, Ref::ZERO);
+        if let Some(r) = self.cache_get(key) {
+            return r;
+        }
+        let n = self.arena.node(f);
+        let lo = self.not(n.lo);
+        let hi = self.not(n.hi);
+        let r = self.make(n.var, lo, hi);
+        self.cache_put(key, r);
+        r
+    }
+
+    /// Implication `f → g`.
+    pub fn implies(&mut self, f: Ref, g: Ref) -> Ref {
+        let nf = self.not(f);
+        self.or(nf, g)
+    }
+
+    /// Biconditional `f ↔ g`.
+    pub fn iff(&mut self, f: Ref, g: Ref) -> Ref {
+        let x = self.xor(f, g);
+        self.not(x)
+    }
+
+    /// If-then-else `ite(f, g, h) = (f ∧ g) ∨ (¬f ∧ h)`.
+    pub fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
+        match f {
+            Ref::ONE => return g,
+            Ref::ZERO => return h,
+            _ => {}
+        }
+        if g == h {
+            return g;
+        }
+        if g == Ref::ONE && h == Ref::ZERO {
+            return f;
+        }
+        let key = (Op::Ite, f, g, h);
+        if let Some(r) = self.cache_get(key) {
+            return r;
+        }
+        let v = self
+            .level(f)
+            .min(self.level(g))
+            .min(self.level(h));
+        let (f0, f1) = self.cofactors(f, v);
+        let (g0, g1) = self.cofactors(g, v);
+        let (h0, h1) = self.cofactors(h, v);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.make(v, lo, hi);
+        self.cache_put(key, r);
+        r
+    }
+
+    /// Existential quantification `∃ vars. f`. `vars` must be sorted
+    /// ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` is not strictly ascending.
+    pub fn exists(&mut self, f: Ref, vars: &[Var]) -> Ref {
+        assert!(
+            vars.windows(2).all(|w| w[0] < w[1]),
+            "quantified variable list must be strictly ascending"
+        );
+        let mut memo = HashMap::new();
+        self.exists_rec(f, vars, &mut memo)
+    }
+
+    fn exists_rec(&mut self, f: Ref, vars: &[Var], memo: &mut HashMap<Ref, Ref>) -> Ref {
+        if f.is_terminal() || vars.is_empty() {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let n = self.arena.node(f);
+        // Skip quantified variables above this node's level.
+        let rest = match vars.iter().position(|&v| v >= n.var) {
+            Some(i) => &vars[i..],
+            None => return f,
+        };
+        let r = if !rest.is_empty() && rest[0] == n.var {
+            let lo = self.exists_rec(n.lo, &rest[1..], memo);
+            let hi = self.exists_rec(n.hi, &rest[1..], memo);
+            self.or(lo, hi)
+        } else {
+            let lo = self.exists_rec(n.lo, rest, memo);
+            let hi = self.exists_rec(n.hi, rest, memo);
+            self.make(n.var, lo, hi)
+        };
+        memo.insert(f, r);
+        r
+    }
+
+    /// Universal quantification `∀ vars. f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` is not strictly ascending.
+    pub fn forall(&mut self, f: Ref, vars: &[Var]) -> Ref {
+        let nf = self.not(f);
+        let e = self.exists(nf, vars);
+        self.not(e)
+    }
+
+    /// Relational product `∃ vars. (f ∧ g)` computed without building the
+    /// full conjunction — the workhorse of image computation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` is not strictly ascending.
+    pub fn and_exists(&mut self, f: Ref, g: Ref, vars: &[Var]) -> Ref {
+        assert!(
+            vars.windows(2).all(|w| w[0] < w[1]),
+            "quantified variable list must be strictly ascending"
+        );
+        let mut memo = HashMap::new();
+        self.and_exists_rec(f, g, vars, &mut memo)
+    }
+
+    fn and_exists_rec(
+        &mut self,
+        f: Ref,
+        g: Ref,
+        vars: &[Var],
+        memo: &mut HashMap<(Ref, Ref), Ref>,
+    ) -> Ref {
+        if f == Ref::ZERO || g == Ref::ZERO {
+            return Ref::ZERO;
+        }
+        if f == Ref::ONE && g == Ref::ONE {
+            return Ref::ONE;
+        }
+        let (a, b) = if f <= g { (f, g) } else { (g, f) };
+        if let Some(&r) = memo.get(&(a, b)) {
+            return r;
+        }
+        let v = self.level(a).min(self.level(b));
+        if v == TERMINAL_VAR {
+            // Both terminal and neither zero: conjunction is ONE.
+            return Ref::ONE;
+        }
+        let rest = match vars.iter().position(|&q| q >= v) {
+            Some(i) => &vars[i..],
+            None => &[],
+        };
+        let (a0, a1) = self.cofactors(a, v);
+        let (b0, b1) = self.cofactors(b, v);
+        let r = if !rest.is_empty() && rest[0] == v {
+            let lo = self.and_exists_rec(a0, b0, &rest[1..], memo);
+            if lo == Ref::ONE {
+                Ref::ONE // early termination: ∨ with ONE
+            } else {
+                let hi = self.and_exists_rec(a1, b1, &rest[1..], memo);
+                self.or(lo, hi)
+            }
+        } else if rest.is_empty() {
+            self.and(a, b)
+        } else {
+            let lo = self.and_exists_rec(a0, b0, rest, memo);
+            let hi = self.and_exists_rec(a1, b1, rest, memo);
+            self.make(v, lo, hi)
+        };
+        memo.insert((a, b), r);
+        r
+    }
+
+    /// Renames every variable `v` in the support of `f` to `map(v)`.
+    ///
+    /// The mapping must be strictly monotone on the support of `f`
+    /// (preserve relative order); this is checked with a debug assertion
+    /// during the recursion.
+    pub fn rename<M: Fn(Var) -> Var>(&mut self, f: Ref, map: M) -> Ref {
+        let mut memo = HashMap::new();
+        self.rename_rec(f, &map, &mut memo)
+    }
+
+    fn rename_rec<M: Fn(Var) -> Var>(
+        &mut self,
+        f: Ref,
+        map: &M,
+        memo: &mut HashMap<Ref, Ref>,
+    ) -> Ref {
+        if f.is_terminal() {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let n = self.arena.node(f);
+        let nv = map(n.var);
+        debug_assert!(
+            nv < self.num_vars,
+            "rename maps variable {} outside the manager",
+            n.var
+        );
+        let lo = self.rename_rec(n.lo, map, memo);
+        let hi = self.rename_rec(n.hi, map, memo);
+        debug_assert!(
+            self.level(lo) > nv && self.level(hi) > nv,
+            "rename mapping is not monotone on the support"
+        );
+        let r = self.make(nv, lo, hi);
+        memo.insert(f, r);
+        r
+    }
+
+    /// Positive/negative cofactor of `f` with respect to variable `v`.
+    pub fn restrict(&mut self, f: Ref, v: Var, value: bool) -> Ref {
+        let mut memo = HashMap::new();
+        self.restrict_rec(f, v, value, &mut memo)
+    }
+
+    fn restrict_rec(
+        &mut self,
+        f: Ref,
+        v: Var,
+        value: bool,
+        memo: &mut HashMap<Ref, Ref>,
+    ) -> Ref {
+        if f.is_terminal() || self.level(f) > v {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let n = self.arena.node(f);
+        let r = if n.var == v {
+            if value {
+                n.hi
+            } else {
+                n.lo
+            }
+        } else {
+            let lo = self.restrict_rec(n.lo, v, value, memo);
+            let hi = self.restrict_rec(n.hi, v, value, memo);
+            self.make(n.var, lo, hi)
+        };
+        memo.insert(f, r);
+        r
+    }
+
+    /// Evaluates `f` under a complete assignment (`assignment[v]` is the
+    /// value of variable `v`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment is shorter than a variable encountered on
+    /// the evaluation path.
+    pub fn eval(&self, f: Ref, assignment: &[bool]) -> bool {
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let n = self.arena.node(cur);
+            cur = if assignment[n.var as usize] { n.hi } else { n.lo };
+        }
+        cur == Ref::ONE
+    }
+
+    /// Number of satisfying assignments over all `num_vars` variables,
+    /// as `f64` (exact for counts below 2^53).
+    pub fn sat_count(&self, f: Ref) -> f64 {
+        let mut memo: HashMap<Ref, f64> = HashMap::new();
+        self.sat_count_rec(f, 0, &mut memo) * 1.0
+    }
+
+    fn sat_count_rec(&self, f: Ref, from_level: Var, memo: &mut HashMap<Ref, f64>) -> f64 {
+        // Count assignments over variables from `from_level` to num_vars.
+        let level = if f.is_terminal() {
+            self.num_vars
+        } else {
+            self.arena.var(f)
+        };
+        let skipped = (level - from_level) as i32;
+        let below = match f {
+            Ref::ZERO => 0.0,
+            Ref::ONE => 1.0,
+            _ => {
+                if let Some(&c) = memo.get(&f) {
+                    c
+                } else {
+                    let n = self.arena.node(f);
+                    let lo = self.sat_count_rec(n.lo, n.var + 1, memo);
+                    let hi = self.sat_count_rec(n.hi, n.var + 1, memo);
+                    let c = lo + hi;
+                    memo.insert(f, c);
+                    c
+                }
+            }
+        };
+        below * 2f64.powi(skipped)
+    }
+
+    /// One satisfying assignment as a full vector (unconstrained variables
+    /// are reported as `false`), or `None` if `f` is unsatisfiable.
+    pub fn one_sat(&self, f: Ref) -> Option<Vec<bool>> {
+        if f == Ref::ZERO {
+            return None;
+        }
+        let mut assignment = vec![false; self.num_vars as usize];
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let n = self.arena.node(cur);
+            if n.hi != Ref::ZERO {
+                assignment[n.var as usize] = true;
+                cur = n.hi;
+            } else {
+                cur = n.lo;
+            }
+        }
+        debug_assert_eq!(cur, Ref::ONE);
+        Some(assignment)
+    }
+
+    /// All satisfying assignments, materialized. Intended for small
+    /// variable counts (tests, attractor extraction); the result has
+    /// `sat_count` entries.
+    pub fn all_sat(&self, f: Ref) -> Vec<Vec<bool>> {
+        let mut out = Vec::new();
+        let mut prefix = vec![false; self.num_vars as usize];
+        self.all_sat_rec(f, 0, &mut prefix, &mut out);
+        out
+    }
+
+    fn all_sat_rec(&self, f: Ref, level: Var, prefix: &mut Vec<bool>, out: &mut Vec<Vec<bool>>) {
+        if f == Ref::ZERO {
+            return;
+        }
+        if level == self.num_vars {
+            debug_assert_eq!(f, Ref::ONE);
+            out.push(prefix.clone());
+            return;
+        }
+        let node_level = if f.is_terminal() {
+            self.num_vars
+        } else {
+            self.arena.var(f)
+        };
+        if node_level > level {
+            // Free variable: branch on both values.
+            prefix[level as usize] = false;
+            self.all_sat_rec(f, level + 1, prefix, out);
+            prefix[level as usize] = true;
+            self.all_sat_rec(f, level + 1, prefix, out);
+            prefix[level as usize] = false;
+        } else {
+            let n = self.arena.node(f);
+            prefix[level as usize] = false;
+            self.all_sat_rec(n.lo, level + 1, prefix, out);
+            prefix[level as usize] = true;
+            self.all_sat_rec(n.hi, level + 1, prefix, out);
+            prefix[level as usize] = false;
+        }
+    }
+
+    /// All satisfying assignments projected onto `vars` (strictly
+    /// ascending): variables outside `vars` must not occur in the support
+    /// of `f`. Each returned vector has `vars.len()` entries, aligned with
+    /// `vars`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` is not strictly ascending or `f` depends on a
+    /// variable outside `vars`.
+    pub fn all_sat_over(&self, f: Ref, vars: &[Var]) -> Vec<Vec<bool>> {
+        assert!(
+            vars.windows(2).all(|w| w[0] < w[1]),
+            "variable list must be strictly ascending"
+        );
+        let mut out = Vec::new();
+        let mut prefix = vec![false; vars.len()];
+        self.all_sat_over_rec(f, vars, 0, &mut prefix, &mut out);
+        out
+    }
+
+    fn all_sat_over_rec(
+        &self,
+        f: Ref,
+        vars: &[Var],
+        idx: usize,
+        prefix: &mut Vec<bool>,
+        out: &mut Vec<Vec<bool>>,
+    ) {
+        if f == Ref::ZERO {
+            return;
+        }
+        if idx == vars.len() {
+            assert!(
+                f == Ref::ONE,
+                "function depends on a variable outside the projection list"
+            );
+            out.push(prefix.clone());
+            return;
+        }
+        let node_level = self.level(f);
+        assert!(
+            node_level >= vars[idx],
+            "function depends on variable {} outside the projection list",
+            node_level
+        );
+        if node_level > vars[idx] {
+            prefix[idx] = false;
+            self.all_sat_over_rec(f, vars, idx + 1, prefix, out);
+            prefix[idx] = true;
+            self.all_sat_over_rec(f, vars, idx + 1, prefix, out);
+            prefix[idx] = false;
+        } else {
+            let n = self.arena.node(f);
+            prefix[idx] = false;
+            self.all_sat_over_rec(n.lo, vars, idx + 1, prefix, out);
+            prefix[idx] = true;
+            self.all_sat_over_rec(n.hi, vars, idx + 1, prefix, out);
+            prefix[idx] = false;
+        }
+    }
+
+    /// The set of variables `f` actually depends on, ascending.
+    pub fn support(&self, f: Ref) -> Vec<Var> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::BTreeSet::new();
+        let mut stack = vec![f];
+        while let Some(r) = stack.pop() {
+            if r.is_terminal() || !seen.insert(r) {
+                continue;
+            }
+            let n = self.arena.node(r);
+            vars.insert(n.var);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        vars.into_iter().collect()
+    }
+
+    /// Number of distinct DAG nodes reachable from `f` (including
+    /// terminals).
+    pub fn dag_size(&self, f: Ref) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        while let Some(r) = stack.pop() {
+            if !seen.insert(r) {
+                continue;
+            }
+            if !r.is_terminal() {
+                let n = self.arena.node(r);
+                stack.push(n.lo);
+                stack.push(n.hi);
+            }
+        }
+        seen.len()
+    }
+
+    /// Renders the DAG rooted at `f` in Graphviz DOT format: solid edges
+    /// for the high (then) branch, dashed for the low (else) branch.
+    /// Intended for debugging small functions.
+    pub fn to_dot(&self, f: Ref, var_name: &dyn Fn(Var) -> String) -> String {
+        let mut out = String::from("digraph bdd {\n  rankdir=TB;\n");
+        out.push_str("  t0 [label=\"0\", shape=box];\n  t1 [label=\"1\", shape=box];\n");
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        while let Some(r) = stack.pop() {
+            if r.is_terminal() || !seen.insert(r) {
+                continue;
+            }
+            let n = self.arena.node(r);
+            out.push_str(&format!(
+                "  n{} [label=\"{}\"];\n",
+                r.index(),
+                var_name(n.var)
+            ));
+            let edge = |child: Ref, style: &str| {
+                let target = match child {
+                    Ref::ZERO => "t0".to_owned(),
+                    Ref::ONE => "t1".to_owned(),
+                    c => format!("n{}", c.index()),
+                };
+                format!("  n{} -> {} [style={}];\n", r.index(), target, style)
+            };
+            out.push_str(&edge(n.hi, "solid"));
+            out.push_str(&edge(n.lo, "dashed"));
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Protects `f` (and transitively its descendants) from [`gc`].
+    ///
+    /// [`gc`]: BddManager::gc
+    pub fn protect(&mut self, f: Ref) {
+        self.arena.protect(f);
+    }
+
+    /// Releases one protection of `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not currently protected.
+    pub fn unprotect(&mut self, f: Ref) {
+        self.arena.unprotect(f);
+    }
+
+    /// Mark-and-sweep garbage collection. Every handle not protected and
+    /// not transitively reachable from a protected handle is invalidated.
+    /// The computed cache is cleared. Returns the number of reclaimed
+    /// nodes.
+    pub fn gc(&mut self) -> usize {
+        self.cache.clear();
+        self.arena.gc(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr(n: Var) -> BddManager {
+        BddManager::new(n)
+    }
+
+    #[test]
+    fn constants_and_vars() {
+        let mut m = mgr(2);
+        assert_eq!(m.one(), Ref::ONE);
+        assert_eq!(m.zero(), Ref::ZERO);
+        let a = m.var(0);
+        assert!(m.eval(a, &[true, false]));
+        assert!(!m.eval(a, &[false, true]));
+        let na = m.nvar(0);
+        let also_na = m.not(a);
+        assert_eq!(na, also_na);
+    }
+
+    #[test]
+    fn boolean_identities() {
+        let mut m = mgr(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let na = m.not(a);
+        assert_eq!(m.and(a, na), Ref::ZERO);
+        assert_eq!(m.or(a, na), Ref::ONE);
+        assert_eq!(m.xor(a, a), Ref::ZERO);
+        let ab = m.and(a, b);
+        let ba = m.and(b, a);
+        assert_eq!(ab, ba, "canonical form is order independent");
+        let de_morgan_l = {
+            let o = m.or(a, b);
+            m.not(o)
+        };
+        let de_morgan_r = {
+            let nb = m.not(b);
+            m.and(na, nb)
+        };
+        assert_eq!(de_morgan_l, de_morgan_r);
+    }
+
+    #[test]
+    fn ite_matches_definition() {
+        let mut m = mgr(3);
+        let f = m.var(0);
+        let g = m.var(1);
+        let h = m.var(2);
+        let ite = m.ite(f, g, h);
+        let expanded = {
+            let fg = m.and(f, g);
+            let nf = m.not(f);
+            let nfh = m.and(nf, h);
+            m.or(fg, nfh)
+        };
+        assert_eq!(ite, expanded);
+    }
+
+    #[test]
+    fn sat_count_small_functions() {
+        let mut m = mgr(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let ab = m.and(a, b);
+        let f = m.or(ab, c);
+        assert_eq!(m.sat_count(f), 5.0);
+        assert_eq!(m.sat_count(Ref::ONE), 8.0);
+        assert_eq!(m.sat_count(Ref::ZERO), 0.0);
+    }
+
+    #[test]
+    fn exists_and_forall() {
+        let mut m = mgr(2);
+        let a = m.var(0);
+        let b = m.var(1);
+        let ab = m.and(a, b);
+        // ∃b. a∧b = a
+        assert_eq!(m.exists(ab, &[1]), a);
+        // ∀b. a∧b = 0
+        assert_eq!(m.forall(ab, &[1]), Ref::ZERO);
+        let aorb = m.or(a, b);
+        // ∃a,b. a∨b = 1
+        assert_eq!(m.exists(aorb, &[0, 1]), Ref::ONE);
+        // ∀a. a∨b = b
+        assert_eq!(m.forall(aorb, &[0]), b);
+    }
+
+    #[test]
+    fn and_exists_equals_composed() {
+        let mut m = mgr(4);
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let d = m.var(3);
+        let f = {
+            let x = m.or(a, b);
+            m.and(x, c)
+        };
+        let g = {
+            let y = m.xor(c, d);
+            m.or(y, a)
+        };
+        let composed = {
+            let fg = m.and(f, g);
+            m.exists(fg, &[1, 2])
+        };
+        let fused = m.and_exists(f, g, &[1, 2]);
+        assert_eq!(composed, fused);
+    }
+
+    #[test]
+    fn rename_monotone_shift() {
+        let mut m = mgr(6);
+        // f over odd variables 1,3,5 → shift down to 0,2,4.
+        let x1 = m.var(1);
+        let x3 = m.var(3);
+        let x5 = m.var(5);
+        let t = m.and(x1, x3);
+        let f = m.or(t, x5);
+        let g = m.rename(f, |v| v - 1);
+        let x0 = m.var(0);
+        let x2 = m.var(2);
+        let x4 = m.var(4);
+        let t2 = m.and(x0, x2);
+        let expect = m.or(t2, x4);
+        assert_eq!(g, expect);
+    }
+
+    #[test]
+    fn restrict_cofactors() {
+        let mut m = mgr(2);
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.xor(a, b);
+        let nb = m.not(b);
+        assert_eq!(m.restrict(f, 0, true), nb);
+        assert_eq!(m.restrict(f, 0, false), b);
+    }
+
+    #[test]
+    fn one_sat_and_all_sat() {
+        let mut m = mgr(3);
+        let a = m.var(0);
+        let c = m.var(2);
+        let f = m.and(a, c);
+        let s = m.one_sat(f).expect("satisfiable");
+        assert!(m.eval(f, &s));
+        let all = m.all_sat(f);
+        assert_eq!(all.len(), 2); // b free
+        for s in &all {
+            assert!(m.eval(f, s));
+        }
+        assert_eq!(m.one_sat(Ref::ZERO), None);
+    }
+
+    #[test]
+    fn all_sat_over_projects_correctly() {
+        let mut m = mgr(6);
+        // f over even variables only.
+        let a = m.var(0);
+        let c = m.var(2);
+        let e = m.var(4);
+        let t = m.and(a, c);
+        let f = m.or(t, e);
+        let sols = m.all_sat_over(f, &[0, 2, 4]);
+        assert_eq!(sols.len(), 5);
+        for s in &sols {
+            assert!((s[0] && s[1]) || s[2]);
+        }
+        // Extra variables in the list are treated as free.
+        let wide = m.all_sat_over(f, &[0, 1, 2, 4]);
+        assert_eq!(wide.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the projection list")]
+    fn all_sat_over_rejects_missing_support() {
+        let mut m = mgr(4);
+        let f = m.var(3);
+        let _ = m.all_sat_over(f, &[0, 1]);
+    }
+
+    #[test]
+    fn support_and_dag_size() {
+        let mut m = mgr(4);
+        let a = m.var(0);
+        let c = m.var(2);
+        let f = m.xor(a, c);
+        assert_eq!(m.support(f), vec![0, 2]);
+        assert_eq!(m.support(Ref::ONE), Vec::<Var>::new());
+        assert!(m.dag_size(f) >= 4);
+    }
+
+    #[test]
+    fn cache_toggle_preserves_results() {
+        let mut m1 = mgr(8);
+        let mut m2 = mgr(8);
+        m2.set_cache_enabled(false);
+        let build = |m: &mut BddManager| {
+            let mut f = m.one();
+            for v in 0..8 {
+                let x = m.var(v);
+                let g = if v % 2 == 0 { x } else { m.not(x) };
+                f = m.and(f, g);
+            }
+            m.sat_count(f)
+        };
+        assert_eq!(build(&mut m1), build(&mut m2));
+        assert_eq!(m2.cache_stats().0, 0, "disabled cache records no lookups");
+        assert!(m1.cache_stats().0 > 0);
+    }
+
+    #[test]
+    fn gc_preserves_protected_function() {
+        let mut m = mgr(4);
+        let a = m.var(0);
+        let b = m.var(1);
+        let keep = m.and(a, b);
+        m.protect(keep);
+        // Build garbage.
+        for v in 0..4 {
+            let x = m.var(v);
+            let y = m.var((v + 1) % 4);
+            let _ = m.xor(x, y);
+        }
+        let live_before = m.live_nodes();
+        let freed = m.gc();
+        assert!(freed > 0);
+        assert!(m.live_nodes() < live_before);
+        // Protected function still evaluates correctly.
+        assert!(m.eval(keep, &[true, true, false, false]));
+        assert!(!m.eval(keep, &[true, false, false, false]));
+        m.unprotect(keep);
+    }
+
+    #[test]
+    fn dot_export_contains_all_nodes() {
+        let mut m = mgr(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.xor(a, b);
+        let dot = m.to_dot(f, &|v| format!("x{v}"));
+        assert!(dot.starts_with("digraph bdd {"));
+        assert!(dot.contains("x0") && dot.contains("x1"));
+        assert!(dot.contains("style=solid") && dot.contains("style=dashed"));
+        // One line per node plus edges plus boilerplate.
+        assert_eq!(dot.matches(" -> ").count(), 2 * (m.dag_size(f) - 2));
+    }
+
+    #[test]
+    fn eval_matches_truth_table_exhaustively() {
+        let mut m = mgr(4);
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let d = m.var(3);
+        // f = (a ⊕ b) ∧ (c ∨ ¬d)
+        let f = {
+            let x = m.xor(a, b);
+            let nd = m.not(d);
+            let y = m.or(c, nd);
+            m.and(x, y)
+        };
+        let mut count = 0;
+        for bits in 0..16u32 {
+            let assignment: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+            let expect =
+                (assignment[0] ^ assignment[1]) && (assignment[2] || !assignment[3]);
+            assert_eq!(m.eval(f, &assignment), expect);
+            if expect {
+                count += 1;
+            }
+        }
+        assert_eq!(m.sat_count(f), f64::from(count));
+    }
+}

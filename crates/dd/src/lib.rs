@@ -1,0 +1,48 @@
+//! # mns-dd — binary and zero-suppressed decision diagrams
+//!
+//! A self-contained decision-diagram package providing the two flavours the
+//! micronano workspace needs:
+//!
+//! * [`BddManager`] — reduced ordered binary decision diagrams for Boolean
+//!   function manipulation: used by `mns-grn` for implicit steady-state and
+//!   reachability computation over gene regulatory networks ("simulation
+//!   versus traversal", keynote slide 32).
+//! * [`ZddManager`] — zero-suppressed decision diagrams for sparse set
+//!   families: used by `mns-bicluster` to store and manipulate the family of
+//!   maximal biclusters ("bi-clustering … solved with ZDD technology",
+//!   keynote slide 25).
+//!
+//! Both managers share the same architecture: an index-based node arena with
+//! `u32` handles, a unique table guaranteeing canonicity, a lossy computed
+//! cache (can be disabled for the A1 ablation), and explicit mark-and-sweep
+//! garbage collection over a protection registry.
+//!
+//! ## Handle validity
+//!
+//! [`Ref`] handles stay valid until [`BddManager::gc`] / [`ZddManager::gc`]
+//! runs; any handle not protected (directly or through a protected
+//! ancestor) at that point is invalidated. Collection never runs
+//! implicitly.
+//!
+//! ## Example
+//!
+//! ```
+//! use mns_dd::BddManager;
+//!
+//! let mut m = BddManager::new(3);
+//! let (a, b, c) = (m.var(0), m.var(1), m.var(2));
+//! let f = m.and(a, b);
+//! let g = m.or(f, c);
+//! assert_eq!(m.sat_count(g), 5.0); // |ab ∨ c| over 3 variables
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bdd;
+mod node;
+mod zdd;
+
+pub use bdd::BddManager;
+pub use node::{Ref, Var};
+pub use zdd::ZddManager;

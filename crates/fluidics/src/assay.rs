@@ -1,0 +1,505 @@
+//! Biochemical assays as operation DAGs.
+//!
+//! An assay is the "program" a lab-on-chip executes: dispense reagents,
+//! mix/split/dilute droplets, detect products. Dependencies between
+//! operations form a DAG that the [`scheduler`](crate::schedule) maps onto
+//! chip resources over time.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Identifier of an operation within one assay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(pub u32);
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// The kinds of droplet operations a DMFB supports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpKind {
+    /// Introduce a droplet of the named fluid from a reservoir
+    /// (0 inputs, 1 output).
+    Dispense {
+        /// Reagent/sample name, for reporting.
+        fluid: String,
+    },
+    /// Merge two droplets and agitate (2 inputs, 1 output).
+    Mix,
+    /// Split one droplet into two (1 input, 2 outputs).
+    Split,
+    /// Mix then split, keeping one product: one dilution step
+    /// (2 inputs, 1 output — the waste droplet is discarded on-module).
+    Dilute,
+    /// Hold a droplet on a sensing site (1 input, 0 outputs).
+    Detect,
+    /// Move a droplet to a waste/collection port (1 input, 0 outputs).
+    Output,
+}
+
+impl OpKind {
+    /// Number of droplets consumed.
+    pub fn arity_in(&self) -> usize {
+        match self {
+            OpKind::Dispense { .. } => 0,
+            OpKind::Mix | OpKind::Dilute => 2,
+            OpKind::Split | OpKind::Detect | OpKind::Output => 1,
+        }
+    }
+
+    /// Number of droplets produced.
+    pub fn arity_out(&self) -> usize {
+        match self {
+            OpKind::Dispense { .. } | OpKind::Mix | OpKind::Dilute => 1,
+            OpKind::Split => 2,
+            OpKind::Detect | OpKind::Output => 0,
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::Dispense { fluid } => write!(f, "dispense({fluid})"),
+            OpKind::Mix => f.write_str("mix"),
+            OpKind::Split => f.write_str("split"),
+            OpKind::Dilute => f.write_str("dilute"),
+            OpKind::Detect => f.write_str("detect"),
+            OpKind::Output => f.write_str("output"),
+        }
+    }
+}
+
+/// One node of the assay DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operation {
+    /// Identifier within the assay.
+    pub id: OpId,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Producer operations, in input-slot order.
+    pub inputs: Vec<OpId>,
+}
+
+/// Errors validating an assay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AssayError {
+    /// An operation references a producer that does not exist.
+    UnknownInput(OpId, OpId),
+    /// Wrong number of inputs for the operation kind.
+    Arity {
+        /// The ill-formed operation.
+        op: OpId,
+        /// Inputs required by its kind.
+        expected: usize,
+        /// Inputs supplied.
+        actual: usize,
+    },
+    /// A producer's droplets are consumed more often than produced.
+    OverConsumed(OpId),
+    /// The dependency graph has a cycle.
+    Cycle,
+    /// The assay has no operations.
+    Empty,
+}
+
+impl fmt::Display for AssayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssayError::UnknownInput(op, input) => {
+                write!(f, "{op} references unknown producer {input}")
+            }
+            AssayError::Arity {
+                op,
+                expected,
+                actual,
+            } => write!(f, "{op} expects {expected} inputs, got {actual}"),
+            AssayError::OverConsumed(op) => {
+                write!(f, "outputs of {op} are consumed more often than produced")
+            }
+            AssayError::Cycle => f.write_str("assay dependency graph has a cycle"),
+            AssayError::Empty => f.write_str("assay has no operations"),
+        }
+    }
+}
+
+impl Error for AssayError {}
+
+/// A validated assay: an acyclic operation graph with consistent droplet
+/// flow.
+///
+/// ```
+/// use mns_fluidics::assay::Assay;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = Assay::builder();
+/// let s = b.dispense("sample");
+/// let r = b.dispense("reagent");
+/// let m = b.mix(s, r);
+/// b.detect(m);
+/// let assay = b.build()?;
+/// assert_eq!(assay.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assay {
+    ops: Vec<Operation>,
+}
+
+impl Assay {
+    /// Starts building an assay.
+    pub fn builder() -> AssayBuilder {
+        AssayBuilder::default()
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the assay has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Operations in id order.
+    pub fn operations(&self) -> &[Operation] {
+        &self.ops
+    }
+
+    /// The operation with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (ids are dense, assigned by the
+    /// builder).
+    pub fn op(&self, id: OpId) -> &Operation {
+        &self.ops[id.0 as usize]
+    }
+
+    /// Consumers of each operation: `consumers()[p]` lists ops taking an
+    /// input from `p`.
+    pub fn consumers(&self) -> Vec<Vec<OpId>> {
+        let mut out = vec![Vec::new(); self.ops.len()];
+        for op in &self.ops {
+            for &p in &op.inputs {
+                out[p.0 as usize].push(op.id);
+            }
+        }
+        out
+    }
+
+    /// A topological order of the operations (exists by construction).
+    pub fn topo_order(&self) -> Vec<OpId> {
+        let mut indegree: Vec<usize> = self.ops.iter().map(|o| o.inputs.len()).collect();
+        let consumers = self.consumers();
+        let mut queue: Vec<OpId> = self
+            .ops
+            .iter()
+            .filter(|o| o.inputs.is_empty())
+            .map(|o| o.id)
+            .collect();
+        let mut order = Vec::with_capacity(self.ops.len());
+        while let Some(id) = queue.pop() {
+            order.push(id);
+            for &c in &consumers[id.0 as usize] {
+                indegree[c.0 as usize] -= 1;
+                if indegree[c.0 as usize] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), self.ops.len());
+        order
+    }
+
+    /// Length (in operations) of the longest dependency chain — the
+    /// critical path that lower-bounds any schedule.
+    pub fn critical_path_len(&self) -> usize {
+        let mut depth = vec![0usize; self.ops.len()];
+        for &id in &self.topo_order() {
+            let op = &self.ops[id.0 as usize];
+            let d = op
+                .inputs
+                .iter()
+                .map(|p| depth[p.0 as usize])
+                .max()
+                .unwrap_or(0);
+            depth[id.0 as usize] = d + 1;
+        }
+        depth.into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Incremental builder for [`Assay`]. Methods return the id of the newly
+/// added operation so protocols compose naturally.
+#[derive(Debug, Default)]
+pub struct AssayBuilder {
+    ops: Vec<Operation>,
+}
+
+impl AssayBuilder {
+    fn push(&mut self, kind: OpKind, inputs: Vec<OpId>) -> OpId {
+        let id = OpId(self.ops.len() as u32);
+        self.ops.push(Operation { id, kind, inputs });
+        id
+    }
+
+    /// Adds a dispense of `fluid`.
+    pub fn dispense(&mut self, fluid: &str) -> OpId {
+        self.push(
+            OpKind::Dispense {
+                fluid: fluid.to_owned(),
+            },
+            Vec::new(),
+        )
+    }
+
+    /// Adds a mix of two droplets.
+    pub fn mix(&mut self, a: OpId, b: OpId) -> OpId {
+        self.push(OpKind::Mix, vec![a, b])
+    }
+
+    /// Adds a binary split. Both downstream consumers reference the same
+    /// split id; droplet-flow validation allows up to two consumers.
+    pub fn split(&mut self, input: OpId) -> OpId {
+        self.push(OpKind::Split, vec![input])
+    }
+
+    /// Adds one dilution step (mix + discard half).
+    pub fn dilute(&mut self, sample: OpId, buffer: OpId) -> OpId {
+        self.push(OpKind::Dilute, vec![sample, buffer])
+    }
+
+    /// Adds a detection (terminal).
+    pub fn detect(&mut self, input: OpId) -> OpId {
+        self.push(OpKind::Detect, vec![input])
+    }
+
+    /// Adds an output-to-waste (terminal).
+    pub fn output(&mut self, input: OpId) -> OpId {
+        self.push(OpKind::Output, vec![input])
+    }
+
+    /// Validates and finalizes the assay.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`AssayError`] found: unknown inputs, arity
+    /// mismatches, droplet over-consumption, cycles, or emptiness.
+    pub fn build(self) -> Result<Assay, AssayError> {
+        if self.ops.is_empty() {
+            return Err(AssayError::Empty);
+        }
+        let n = self.ops.len() as u32;
+        let mut consumed: HashMap<OpId, usize> = HashMap::new();
+        for op in &self.ops {
+            let expected = op.kind.arity_in();
+            if op.inputs.len() != expected {
+                return Err(AssayError::Arity {
+                    op: op.id,
+                    expected,
+                    actual: op.inputs.len(),
+                });
+            }
+            for &p in &op.inputs {
+                if p.0 >= n {
+                    return Err(AssayError::UnknownInput(op.id, p));
+                }
+                if p.0 >= op.id.0 {
+                    // Builder ids are assigned in creation order, so any
+                    // forward reference would be a cycle.
+                    return Err(AssayError::Cycle);
+                }
+                *consumed.entry(p).or_insert(0) += 1;
+            }
+        }
+        for op in &self.ops {
+            let uses = consumed.get(&op.id).copied().unwrap_or(0);
+            if uses > op.kind.arity_out() {
+                return Err(AssayError::OverConsumed(op.id));
+            }
+        }
+        Ok(Assay { ops: self.ops })
+    }
+}
+
+/// Expected relative analyte concentration at every operation's output,
+/// assuming dispensed samples carry concentration 1.0 and buffers
+/// (any fluid named `buffer*`) carry 0.0. Mixing and diluting average the
+/// two input concentrations (equal droplet volumes); splitting and
+/// detection preserve them.
+///
+/// This is the calibration math of a dilution ladder: step `k` of
+/// [`serial_dilution`] detects concentration `2^-k`.
+pub fn concentrations(assay: &Assay) -> Vec<f64> {
+    let mut conc = vec![0.0; assay.len()];
+    for &id in &assay.topo_order() {
+        let op = assay.op(id);
+        conc[id.0 as usize] = match &op.kind {
+            OpKind::Dispense { fluid } => {
+                if fluid.starts_with("buffer") {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+            OpKind::Mix | OpKind::Dilute => {
+                (conc[op.inputs[0].0 as usize] + conc[op.inputs[1].0 as usize]) / 2.0
+            }
+            OpKind::Split | OpKind::Detect | OpKind::Output => {
+                conc[op.inputs[0].0 as usize]
+            }
+        };
+    }
+    conc
+}
+
+/// Canned protocol: a serial dilution ladder of `steps` steps followed by
+/// a detection of each intermediate concentration — the workhorse
+/// calibration assay of point-of-care chips.
+pub fn serial_dilution(steps: usize) -> Assay {
+    let mut b = Assay::builder();
+    let mut current = b.dispense("sample");
+    for _ in 0..steps {
+        let buffer = b.dispense("buffer");
+        let diluted = b.dilute(current, buffer);
+        // Sample the ladder at this concentration.
+        let tap = b.split(diluted);
+        b.detect(tap);
+        current = tap;
+    }
+    b.output(current);
+    b.build().expect("generated protocol is well-formed")
+}
+
+/// Canned protocol: an `n`-plex immunoassay — `n` samples each mixed with
+/// a shared-reagent aliquot and detected in parallel (the "parallel
+/// scheduling and routing of multiple samples" workload of slide 20).
+pub fn multiplex_immunoassay(n: usize) -> Assay {
+    let mut b = Assay::builder();
+    for i in 0..n {
+        let sample = b.dispense(&format!("sample{i}"));
+        let reagent = b.dispense("antibody");
+        let mixed = b.mix(sample, reagent);
+        b.detect(mixed);
+    }
+    b.build().expect("generated protocol is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_simple_assay() {
+        let mut b = Assay::builder();
+        let s = b.dispense("s");
+        let r = b.dispense("r");
+        let m = b.mix(s, r);
+        b.detect(m);
+        let a = b.build().unwrap();
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.op(m).inputs, vec![s, r]);
+        assert_eq!(a.critical_path_len(), 3);
+    }
+
+    #[test]
+    fn split_feeds_two_consumers() {
+        let mut b = Assay::builder();
+        let s = b.dispense("s");
+        let sp = b.split(s);
+        b.detect(sp);
+        b.output(sp);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn over_consumption_detected() {
+        let mut b = Assay::builder();
+        let s = b.dispense("s");
+        b.detect(s);
+        b.output(s); // dispense produces one droplet, consumed twice
+        assert_eq!(b.build().unwrap_err(), AssayError::OverConsumed(OpId(0)));
+    }
+
+    #[test]
+    fn empty_assay_rejected() {
+        assert_eq!(Assay::builder().build().unwrap_err(), AssayError::Empty);
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let a = serial_dilution(4);
+        let order = a.topo_order();
+        assert_eq!(order.len(), a.len());
+        let position: HashMap<OpId, usize> =
+            order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        for op in a.operations() {
+            for &p in &op.inputs {
+                assert!(position[&p] < position[&op.id]);
+            }
+        }
+    }
+
+    #[test]
+    fn canned_protocols_shape() {
+        let d = serial_dilution(3);
+        // 1 sample + per step (buffer + dilute + split + detect) + output.
+        assert_eq!(d.len(), 1 + 3 * 4 + 1);
+        let m = multiplex_immunoassay(5);
+        assert_eq!(m.len(), 5 * 4);
+        assert_eq!(m.critical_path_len(), 3);
+    }
+
+    #[test]
+    fn dilution_ladder_concentrations_halve() {
+        let assay = serial_dilution(4);
+        let conc = concentrations(&assay);
+        // Each detect sees half of the previous step's concentration.
+        let detected: Vec<f64> = assay
+            .operations()
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Detect))
+            .map(|o| conc[o.inputs[0].0 as usize])
+            .collect();
+        assert_eq!(detected.len(), 4);
+        for (k, &c) in detected.iter().enumerate() {
+            let expect = 0.5f64.powi(k as i32 + 1);
+            assert!((c - expect).abs() < 1e-12, "step {k}: {c} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn mix_concentration_averages_inputs() {
+        let mut b = Assay::builder();
+        let s = b.dispense("sample");
+        let w = b.dispense("buffer");
+        let m = b.mix(s, w);
+        b.detect(m);
+        let assay = b.build().unwrap();
+        let conc = concentrations(&assay);
+        assert_eq!(conc[s.0 as usize], 1.0);
+        assert_eq!(conc[w.0 as usize], 0.0);
+        assert_eq!(conc[m.0 as usize], 0.5);
+    }
+
+    #[test]
+    fn arity_display_and_accessors() {
+        assert_eq!(OpKind::Mix.arity_in(), 2);
+        assert_eq!(OpKind::Split.arity_out(), 2);
+        assert_eq!(
+            OpKind::Dispense {
+                fluid: "x".into()
+            }
+            .to_string(),
+            "dispense(x)"
+        );
+        assert_eq!(OpId(3).to_string(), "op3");
+    }
+}

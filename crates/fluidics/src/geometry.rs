@@ -1,0 +1,192 @@
+//! Electrode-array geometry.
+
+use std::error::Error;
+use std::fmt;
+
+/// One electrode position on the array.
+///
+/// ```
+/// use mns_fluidics::geometry::Cell;
+/// let c = Cell::new(3, 4);
+/// assert_eq!(c.manhattan(Cell::new(0, 0)), 7);
+/// assert_eq!(c.chebyshev(Cell::new(4, 6)), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cell {
+    /// Column index.
+    pub x: i32,
+    /// Row index.
+    pub y: i32,
+}
+
+impl Cell {
+    /// Creates a cell at `(x, y)`.
+    pub const fn new(x: i32, y: i32) -> Cell {
+        Cell { x, y }
+    }
+
+    /// Manhattan (L1) distance — the minimum number of single-electrode
+    /// moves between two cells.
+    pub const fn manhattan(self, other: Cell) -> i32 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Chebyshev (L∞) distance — the metric of the fluidic spacing rules.
+    pub const fn chebyshev(self, other: Cell) -> i32 {
+        let dx = (self.x - other.x).abs();
+        let dy = (self.y - other.y).abs();
+        if dx > dy {
+            dx
+        } else {
+            dy
+        }
+    }
+
+    /// The four orthogonal neighbours (possibly outside any grid).
+    pub const fn neighbors4(self) -> [Cell; 4] {
+        [
+            Cell::new(self.x + 1, self.y),
+            Cell::new(self.x - 1, self.y),
+            Cell::new(self.x, self.y + 1),
+            Cell::new(self.x, self.y - 1),
+        ]
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// Error constructing a [`Grid`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridError {
+    width: i32,
+    height: i32,
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "grid dimensions must be at least 3×3, got {}×{}",
+            self.width, self.height
+        )
+    }
+}
+
+impl Error for GridError {}
+
+/// A rectangular electrode array.
+///
+/// ```
+/// use mns_fluidics::geometry::{Cell, Grid};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = Grid::new(8, 6)?;
+/// assert!(g.contains(Cell::new(7, 5)));
+/// assert!(!g.contains(Cell::new(8, 0)));
+/// assert_eq!(g.cell_count(), 48);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid {
+    width: i32,
+    height: i32,
+}
+
+impl Grid {
+    /// Creates a `width × height` array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError`] when either dimension is below 3 (too small
+    /// for any droplet operation with guard spacing).
+    pub fn new(width: i32, height: i32) -> Result<Grid, GridError> {
+        if width < 3 || height < 3 {
+            return Err(GridError { width, height });
+        }
+        Ok(Grid { width, height })
+    }
+
+    /// Array width (columns).
+    pub const fn width(&self) -> i32 {
+        self.width
+    }
+
+    /// Array height (rows).
+    pub const fn height(&self) -> i32 {
+        self.height
+    }
+
+    /// Total number of electrodes.
+    pub const fn cell_count(&self) -> i64 {
+        self.width as i64 * self.height as i64
+    }
+
+    /// Whether `cell` lies on the array.
+    pub const fn contains(&self, cell: Cell) -> bool {
+        cell.x >= 0 && cell.y >= 0 && cell.x < self.width && cell.y < self.height
+    }
+
+    /// In-bounds orthogonal neighbours of `cell`.
+    pub fn neighbors(&self, cell: Cell) -> impl Iterator<Item = Cell> + '_ {
+        cell.neighbors4().into_iter().filter(|c| self.contains(*c))
+    }
+
+    /// Iterates over every cell in row-major order.
+    pub fn cells(&self) -> impl Iterator<Item = Cell> + '_ {
+        let (w, h) = (self.width, self.height);
+        (0..h).flat_map(move |y| (0..w).map(move |x| Cell::new(x, y)))
+    }
+
+    /// Whether a `w × h` rectangle anchored at `origin` fits on the array.
+    pub const fn fits(&self, origin: Cell, w: i32, h: i32) -> bool {
+        origin.x >= 0
+            && origin.y >= 0
+            && origin.x + w <= self.width
+            && origin.y + h <= self.height
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Cell::new(1, 1);
+        let b = Cell::new(4, 3);
+        assert_eq!(a.manhattan(b), 5);
+        assert_eq!(a.chebyshev(b), 3);
+        assert_eq!(a.manhattan(a), 0);
+    }
+
+    #[test]
+    fn neighbors_filtering() {
+        let g = Grid::new(3, 3).unwrap();
+        let corner: Vec<Cell> = g.neighbors(Cell::new(0, 0)).collect();
+        assert_eq!(corner.len(), 2);
+        let center: Vec<Cell> = g.neighbors(Cell::new(1, 1)).collect();
+        assert_eq!(center.len(), 4);
+    }
+
+    #[test]
+    fn grid_bounds_and_fits() {
+        let g = Grid::new(5, 4).unwrap();
+        assert!(g.contains(Cell::new(4, 3)));
+        assert!(!g.contains(Cell::new(5, 3)));
+        assert!(!g.contains(Cell::new(-1, 0)));
+        assert!(g.fits(Cell::new(3, 2), 2, 2));
+        assert!(!g.fits(Cell::new(4, 2), 2, 2));
+        assert_eq!(g.cells().count(), 20);
+    }
+
+    #[test]
+    fn tiny_grid_rejected() {
+        assert!(Grid::new(2, 10).is_err());
+        let e = Grid::new(1, 1).unwrap_err();
+        assert!(e.to_string().contains("3×3"));
+    }
+}

@@ -1,0 +1,66 @@
+//! # mns-fluidics — digital microfluidic biochip design automation
+//!
+//! The keynote's first illustrative example (slides 18–26) is the
+//! lab-on-chip: biochemical protocols executed by moving discrete droplets
+//! on a 2-D electrode array, with "parallel scheduling and routing of
+//! multiple samples" called out as the design-automation problem
+//! (slide 20). This crate implements the standard digital-microfluidic
+//! biochip (DMFB) synthesis stack:
+//!
+//! * [`geometry`] — the electrode [`Grid`] and [`Cell`] coordinates,
+//! * [`constraints`] — static and dynamic fluidic spacing rules that keep
+//!   independent droplets from merging accidentally,
+//! * [`assay`] — the biochemical protocol as an operation DAG
+//!   (dispense / mix / split / dilute / detect),
+//! * [`modules`] — the virtual-module library (mixers, detectors) with
+//!   areas and durations,
+//! * [`place`] — on-line module placement with guard bands,
+//! * [`schedule`] — resource-constrained list scheduling of the assay DAG,
+//! * [`route`] — concurrent droplet routing: prioritized space-time A\*
+//!   with stalls, priority rotation, plus a serial baseline for E1,
+//! * [`compiler`] — the end-to-end pipeline producing an electrode
+//!   actuation [`program::ElectrodeProgram`],
+//! * [`contamination`] — post-route cross-contamination sign-off,
+//! * [`workload`] — random instance generators for benchmarks.
+//!
+//! ## Example: route three droplets concurrently
+//!
+//! ```
+//! use mns_fluidics::geometry::{Cell, Grid};
+//! use mns_fluidics::route::{route_concurrent, RoutingConfig, RoutingRequest};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let grid = Grid::new(12, 12)?;
+//! let requests = vec![
+//!     RoutingRequest::new(0, Cell::new(0, 0), Cell::new(11, 11)),
+//!     RoutingRequest::new(1, Cell::new(11, 0), Cell::new(0, 11)),
+//!     RoutingRequest::new(2, Cell::new(0, 11), Cell::new(11, 0)),
+//! ];
+//! let outcome = route_concurrent(&grid, &requests, &RoutingConfig::default())?;
+//! assert!(outcome.makespan >= 22); // at least the longest Manhattan distance
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assay;
+pub mod compiler;
+pub mod constraints;
+pub mod contamination;
+pub mod geometry;
+pub mod modules;
+pub mod place;
+pub mod program;
+pub mod route;
+pub mod schedule;
+pub mod workload;
+
+pub use assay::{Assay, AssayError, OpId, OpKind, Operation};
+pub use compiler::{compile, CompileError, CompiledAssay, CompilerConfig};
+pub use geometry::{Cell, Grid, GridError};
+pub use route::{
+    route_concurrent, route_serial, Route, RouteError, RoutingConfig, RoutingOutcome,
+    RoutingRequest,
+};

@@ -1,0 +1,235 @@
+//! On-line module placement.
+//!
+//! The scheduler asks the placer for a free `w × h` region over a time
+//! interval; the placer scans the array first-fit and records the
+//! reservation. Reservations are kept apart by a 1-cell guard band so
+//! droplets inside adjacent modules respect the fluidic spacing rules, and
+//! port operations (dispense/output) are restricted to the array boundary.
+
+use crate::geometry::{Cell, Grid};
+use crate::modules::ModuleSpec;
+
+/// A placed module reservation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reservation {
+    /// Lower-left corner of the working region.
+    pub origin: Cell,
+    /// Module shape.
+    pub spec: ModuleSpec,
+    /// First occupied tick.
+    pub from: u32,
+    /// First tick after release (half-open).
+    pub until: u32,
+}
+
+impl Reservation {
+    /// Upper-right corner (inclusive).
+    pub fn max(&self) -> Cell {
+        Cell::new(
+            self.origin.x + self.spec.width - 1,
+            self.origin.y + self.spec.height - 1,
+        )
+    }
+
+    /// Whether two reservations conflict: their time intervals overlap and
+    /// their rectangles come within the 1-cell guard band.
+    pub fn conflicts(&self, other: &Reservation) -> bool {
+        let time_overlap = self.from < other.until && other.from < self.until;
+        if !time_overlap {
+            return false;
+        }
+        let a_max = self.max();
+        let b_max = other.max();
+        // Expand `self` by the guard band and test rectangle overlap.
+        let sep_x = self.origin.x - 1 > b_max.x || a_max.x + 1 < other.origin.x;
+        let sep_y = self.origin.y - 1 > b_max.y || a_max.y + 1 < other.origin.y;
+        !(sep_x || sep_y)
+    }
+
+    /// The center cell of the working region (droplet hand-off point).
+    pub fn center(&self) -> Cell {
+        Cell::new(
+            self.origin.x + (self.spec.width - 1) / 2,
+            self.origin.y + (self.spec.height - 1) / 2,
+        )
+    }
+}
+
+/// First-fit rectangle placer with time-windowed reservations.
+///
+/// ```
+/// use mns_fluidics::geometry::Grid;
+/// use mns_fluidics::modules::ModuleSpec;
+/// use mns_fluidics::place::Placer;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let grid = Grid::new(10, 10)?;
+/// let mut placer = Placer::new(grid);
+/// let spec = ModuleSpec { width: 2, height: 3, duration: 6 };
+/// let a = placer.place(spec, 0, 6).expect("fits");
+/// let b = placer.place(spec, 0, 6).expect("fits elsewhere");
+/// assert_ne!(a, b);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Placer {
+    grid: Grid,
+    reservations: Vec<Reservation>,
+}
+
+impl Placer {
+    /// Creates a placer for `grid`.
+    pub fn new(grid: Grid) -> Self {
+        Placer {
+            grid,
+            reservations: Vec::new(),
+        }
+    }
+
+    /// The grid being managed.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// All reservations made so far.
+    pub fn reservations(&self) -> &[Reservation] {
+        &self.reservations
+    }
+
+    fn try_at(&self, origin: Cell, spec: ModuleSpec, from: u32, until: u32) -> bool {
+        if !self.grid.fits(origin, spec.width, spec.height) {
+            return false;
+        }
+        let candidate = Reservation {
+            origin,
+            spec,
+            from,
+            until,
+        };
+        self.reservations.iter().all(|r| !candidate.conflicts(r))
+    }
+
+    /// Reserves a free `spec`-shaped region over `[from, until)`,
+    /// returning its origin, or `None` if the array is too congested.
+    pub fn place(&mut self, spec: ModuleSpec, from: u32, until: u32) -> Option<Cell> {
+        // Interior-first scan: modules prefer the middle of the array so
+        // the cells and rings near the boundary — where dispense/output
+        // ports live — stay free as routing corridors. Ties break
+        // row-major for determinism.
+        let (w, h) = (self.grid.width(), self.grid.height());
+        let mut scan = self.grid.cells().collect::<Vec<_>>();
+        let boundary_distance = |c: Cell| {
+            // Distance of the would-be module's nearest edge to the array
+            // boundary.
+            let max = Cell::new(c.x + spec.width - 1, c.y + spec.height - 1);
+            c.x.min(c.y).min(w - 1 - max.x).min(h - 1 - max.y)
+        };
+        scan.sort_by_key(|&c| {
+            (
+                std::cmp::Reverse(boundary_distance(c)),
+                c.y,
+                c.x,
+            )
+        });
+        for origin in scan {
+            if self.try_at(origin, spec, from, until) {
+                self.reservations.push(Reservation {
+                    origin,
+                    spec,
+                    from,
+                    until,
+                });
+                return Some(origin);
+            }
+        }
+        None
+    }
+
+    /// Reserves a boundary cell (for dispense/output ports) over
+    /// `[from, until)`.
+    pub fn place_on_edge(&mut self, spec: ModuleSpec, from: u32, until: u32) -> Option<Cell> {
+        let (w, h) = (self.grid.width(), self.grid.height());
+        let boundary = self
+            .grid
+            .cells()
+            .filter(|c| c.x == 0 || c.y == 0 || c.x == w - 1 || c.y == h - 1);
+        for origin in boundary {
+            if self.try_at(origin, spec, from, until) {
+                self.reservations.push(Reservation {
+                    origin,
+                    spec,
+                    from,
+                    until,
+                });
+                return Some(origin);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(w: i32, h: i32) -> ModuleSpec {
+        ModuleSpec {
+            width: w,
+            height: h,
+            duration: 5,
+        }
+    }
+
+    #[test]
+    fn placements_do_not_touch() {
+        let mut p = Placer::new(Grid::new(10, 10).unwrap());
+        let a = p.place(spec(2, 2), 0, 10).unwrap();
+        let b = p.place(spec(2, 2), 0, 10).unwrap();
+        // Guard band: rectangles separated by at least one empty cell.
+        let ra = p.reservations()[0];
+        let rb = p.reservations()[1];
+        assert!(!ra.conflicts(&Reservation { from: 0, until: 10, ..rb }));
+        let dx = (a.x - b.x).abs();
+        let dy = (a.y - b.y).abs();
+        assert!(dx >= 3 || dy >= 3, "a={a}, b={b}");
+    }
+
+    #[test]
+    fn time_disjoint_reservations_share_space() {
+        let mut p = Placer::new(Grid::new(6, 6).unwrap());
+        let a = p.place(spec(4, 4), 0, 10).unwrap();
+        // Same region free again after tick 10.
+        let b = p.place(spec(4, 4), 10, 20).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn congestion_returns_none() {
+        let mut p = Placer::new(Grid::new(6, 6).unwrap());
+        assert!(p.place(spec(4, 4), 0, 10).is_some());
+        // No second 4×4 region (plus guard) fits a 6×6 array.
+        assert!(p.place(spec(4, 4), 5, 15).is_none());
+    }
+
+    #[test]
+    fn edge_placement_sticks_to_boundary() {
+        let mut p = Placer::new(Grid::new(8, 8).unwrap());
+        for _ in 0..4 {
+            let c = p.place_on_edge(spec(1, 1), 0, 100).unwrap();
+            assert!(c.x == 0 || c.y == 0 || c.x == 7 || c.y == 7);
+        }
+    }
+
+    #[test]
+    fn center_of_reservation() {
+        let r = Reservation {
+            origin: Cell::new(2, 3),
+            spec: spec(2, 4),
+            from: 0,
+            until: 1,
+        };
+        assert_eq!(r.center(), Cell::new(2, 4));
+        assert_eq!(r.max(), Cell::new(3, 6));
+    }
+}

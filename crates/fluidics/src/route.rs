@@ -1,0 +1,729 @@
+//! Concurrent droplet routing.
+//!
+//! Routing moves droplets between modules on the shared electrode array
+//! while honouring the fluidic [`constraints`](crate::constraints). The
+//! planner is a prioritized space-time A\*: droplets are planned one at a
+//! time (longest trip first) against the reservations of already-planned
+//! droplets, with stall moves allowed and priority rotation on failure —
+//! the classic approach for DMFB routing, and the subject of experiment E1
+//! (concurrent versus serial transport of multiple samples).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::error::Error;
+use std::fmt;
+
+use crate::constraints::MIN_SEPARATION;
+use crate::geometry::{Cell, Grid};
+
+/// A droplet transport request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingRequest {
+    /// Caller-chosen identifier (reported back in [`Route`]).
+    pub id: u32,
+    /// Cell where the droplet appears.
+    pub start: Cell,
+    /// Cell where the droplet must arrive (it is absorbed there).
+    pub goal: Cell,
+    /// Absolute tick at which the droplet appears on the array.
+    pub depart: u32,
+    /// Latest acceptable arrival tick (inclusive), if any.
+    pub deadline: Option<u32>,
+    /// Earliest acceptable arrival tick: the droplet keeps circulating
+    /// (protected by the pairwise droplet constraints) until then. Used by
+    /// the assay compiler so droplets only park inside a consumer module
+    /// once its landing window has opened.
+    pub earliest_arrival: Option<u32>,
+    /// Obstacle tags this droplet may pass through (its own source and
+    /// destination modules in the assay compiler).
+    pub ignore_tags: Vec<u32>,
+    /// Merge group: requests sharing a group are droplets destined to
+    /// coalesce in the same consumer module, so the pairwise spacing
+    /// rules do not apply between them (touching early simply merges them
+    /// early). `None` = no partners.
+    pub merge_group: Option<u32>,
+}
+
+impl RoutingRequest {
+    /// A request departing at tick 0 with no deadline.
+    pub fn new(id: u32, start: Cell, goal: Cell) -> Self {
+        RoutingRequest {
+            id,
+            start,
+            goal,
+            depart: 0,
+            deadline: None,
+            earliest_arrival: None,
+            ignore_tags: Vec::new(),
+            merge_group: None,
+        }
+    }
+
+    /// Sets the departure tick.
+    pub fn departing(mut self, depart: u32) -> Self {
+        self.depart = depart;
+        self
+    }
+
+    /// Sets the arrival deadline (inclusive).
+    pub fn with_deadline(mut self, deadline: u32) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the earliest acceptable arrival tick.
+    pub fn arriving_no_earlier_than(mut self, tick: u32) -> Self {
+        self.earliest_arrival = Some(tick);
+        self
+    }
+
+    /// Lets the droplet ignore obstacles carrying the given tag.
+    pub fn ignoring_tag(mut self, tag: u32) -> Self {
+        self.ignore_tags.push(tag);
+        self
+    }
+
+    /// Marks this droplet as a merge partner of every other request in
+    /// `group`.
+    pub fn in_merge_group(mut self, group: u32) -> Self {
+        self.merge_group = Some(group);
+        self
+    }
+}
+
+/// A rectangular region blocked for routing during a time interval
+/// (an active module plus its segregation ring).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Obstacle {
+    /// Lower-left corner (inclusive).
+    pub min: Cell,
+    /// Upper-right corner (inclusive).
+    pub max: Cell,
+    /// First blocked tick.
+    pub from: u32,
+    /// First tick after the blockage ends (half-open interval).
+    pub until: u32,
+    /// Caller-chosen tag matched against [`RoutingRequest::ignore_tags`];
+    /// use `0` for untagged walls.
+    pub tag: u32,
+}
+
+impl Obstacle {
+    /// Whether `cell` at tick `t` is inside the obstacle expanded by the
+    /// 1-cell segregation ring.
+    pub fn blocks(&self, cell: Cell, t: u32) -> bool {
+        t >= self.from
+            && t < self.until
+            && cell.x >= self.min.x - 1
+            && cell.x <= self.max.x + 1
+            && cell.y >= self.min.y - 1
+            && cell.y <= self.max.y + 1
+    }
+}
+
+/// Router tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutingConfig {
+    /// Maximum ticks a droplet may spend from its departure; a droplet
+    /// failing to arrive within `depart + max_time` is unroutable.
+    pub max_time: u32,
+    /// Constraint lookahead window against already-planned droplets
+    /// (ablation A2):
+    /// `0` = same-instant (static) rule only — *unsafe*, kept for the
+    /// ablation; `1` = static + dynamic rules (correct); `2` = additionally
+    /// avoid cells adjacent to a planned droplet's `t + 2` position
+    /// (anticipatory).
+    pub lookahead: u32,
+    /// How many priority rotations to attempt before giving up.
+    pub max_priority_rotations: u32,
+}
+
+impl Default for RoutingConfig {
+    fn default() -> Self {
+        RoutingConfig {
+            max_time: 2_048,
+            lookahead: 1,
+            max_priority_rotations: 32,
+        }
+    }
+}
+
+/// A planned droplet route.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// Identifier copied from the request.
+    pub id: u32,
+    /// Tick at which the droplet appears at `path[0]`.
+    pub depart: u32,
+    /// Position per tick starting at `depart`; the droplet is absorbed
+    /// after the last entry.
+    pub path: Vec<Cell>,
+}
+
+impl Route {
+    /// Position at absolute tick `t`, or `None` before departure / after
+    /// absorption.
+    pub fn position_at(&self, t: u32) -> Option<Cell> {
+        if t < self.depart {
+            return None;
+        }
+        self.path.get((t - self.depart) as usize).copied()
+    }
+
+    /// Arrival tick (absolute).
+    pub fn arrival(&self) -> u32 {
+        self.depart + self.path.len().saturating_sub(1) as u32
+    }
+
+    /// Number of actual moves (non-stall steps).
+    pub fn moves(&self) -> u32 {
+        self.path.windows(2).filter(|w| w[0] != w[1]).count() as u32
+    }
+
+    /// Number of stall steps.
+    pub fn stalls(&self) -> u32 {
+        self.path.windows(2).filter(|w| w[0] == w[1]).count() as u32
+    }
+}
+
+/// Result of routing a set of requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingOutcome {
+    /// One route per request, in request order.
+    pub routes: Vec<Route>,
+    /// Latest arrival tick.
+    pub makespan: u32,
+    /// Total moves across droplets.
+    pub total_moves: u32,
+    /// Total stalls across droplets.
+    pub total_stalls: u32,
+    /// Priority rotations that were needed.
+    pub rotations: u32,
+}
+
+/// Routing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// A request's endpoints are off-grid or inside a permanent obstacle.
+    BadEndpoint(u32),
+    /// Two requests share conflicting endpoints (goals/starts too close
+    /// with overlapping lifetimes cannot be satisfied).
+    EndpointConflict(u32, u32),
+    /// No fluidically-safe path was found within the horizon, after all
+    /// priority rotations.
+    Unroutable(u32),
+    /// A route exists but misses the request's deadline.
+    DeadlineMissed(u32),
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::BadEndpoint(id) => write!(f, "droplet {id} has an off-grid endpoint"),
+            RouteError::EndpointConflict(a, b) => {
+                write!(f, "droplets {a} and {b} have conflicting endpoints")
+            }
+            RouteError::Unroutable(id) => write!(f, "no safe route for droplet {id}"),
+            RouteError::DeadlineMissed(id) => write!(f, "droplet {id} misses its deadline"),
+        }
+    }
+}
+
+impl Error for RouteError {}
+
+/// Routes all requests **concurrently** (droplets share the array in
+/// time). Requests are planned longest-trip-first; on failure the planning
+/// order is rotated.
+///
+/// # Errors
+///
+/// See [`RouteError`].
+pub fn route_concurrent(
+    grid: &Grid,
+    requests: &[RoutingRequest],
+    config: &RoutingConfig,
+) -> Result<RoutingOutcome, RouteError> {
+    route_with_obstacles(grid, requests, &[], config)
+}
+
+/// Routes all requests concurrently while avoiding time-windowed
+/// [`Obstacle`] regions (used by the assay compiler, where active modules
+/// block the array).
+///
+/// # Errors
+///
+/// See [`RouteError`].
+pub fn route_with_obstacles(
+    grid: &Grid,
+    requests: &[RoutingRequest],
+    obstacles: &[Obstacle],
+    config: &RoutingConfig,
+) -> Result<RoutingOutcome, RouteError> {
+    for r in requests {
+        if !grid.contains(r.start) || !grid.contains(r.goal) {
+            return Err(RouteError::BadEndpoint(r.id));
+        }
+        if let Some(d) = r.deadline {
+            if r.depart + r.start.manhattan(r.goal) as u32 > d {
+                return Err(RouteError::DeadlineMissed(r.id));
+            }
+        }
+    }
+
+    // Initial priority: longest Manhattan trip first (hardest to fit).
+    let mut order: Vec<usize> = (0..requests.len()).collect();
+    order.sort_by_key(|&i| Reverse(requests[i].start.manhattan(requests[i].goal)));
+
+    let mut rotations = 0;
+    loop {
+        match try_order(grid, requests, obstacles, &order, config) {
+            Ok(mut routes_by_index) => {
+                let routes: Vec<Route> = (0..requests.len())
+                    .map(|i| routes_by_index.remove(&i).expect("route planned"))
+                    .collect();
+                // Deadlines.
+                for (r, req) in routes.iter().zip(requests) {
+                    if let Some(d) = req.deadline {
+                        if r.arrival() > d {
+                            return Err(RouteError::DeadlineMissed(req.id));
+                        }
+                    }
+                }
+                let makespan = routes.iter().map(Route::arrival).max().unwrap_or(0);
+                let total_moves = routes.iter().map(Route::moves).sum();
+                let total_stalls = routes.iter().map(Route::stalls).sum();
+                return Ok(RoutingOutcome {
+                    routes,
+                    makespan,
+                    total_moves,
+                    total_stalls,
+                    rotations,
+                });
+            }
+            Err(failed_pos) => {
+                rotations += 1;
+                if rotations > config.max_priority_rotations {
+                    return Err(RouteError::Unroutable(requests[order[failed_pos]].id));
+                }
+                // Move the failed request to the front and retry.
+                let failed = order.remove(failed_pos);
+                order.insert(0, failed);
+            }
+        }
+    }
+}
+
+/// Routes the requests **serially**: droplet `i` only departs after
+/// droplet `i − 1` has arrived, so droplets never interact. This is the
+/// baseline of experiment E1.
+///
+/// # Errors
+///
+/// See [`RouteError`].
+pub fn route_serial(
+    grid: &Grid,
+    requests: &[RoutingRequest],
+    config: &RoutingConfig,
+) -> Result<RoutingOutcome, RouteError> {
+    let mut routes = Vec::with_capacity(requests.len());
+    let mut clock = 0u32;
+    for req in requests {
+        let depart = clock.max(req.depart);
+        let solo = RoutingRequest {
+            depart,
+            ..req.clone()
+        };
+        let outcome = route_with_obstacles(grid, &[solo], &[], config)?;
+        let route = outcome
+            .routes
+            .into_iter()
+            .next()
+            .expect("single request yields a route");
+        if let Some(d) = req.deadline {
+            if route.arrival() > d {
+                return Err(RouteError::DeadlineMissed(req.id));
+            }
+        }
+        // Two settling ticks keep the dynamic fluidic rule satisfied even
+        // when one droplet's goal coincides with the next one's start.
+        clock = route.arrival() + 2;
+        routes.push(route);
+    }
+    let makespan = routes.iter().map(Route::arrival).max().unwrap_or(0);
+    let total_moves = routes.iter().map(Route::moves).sum();
+    let total_stalls = routes.iter().map(Route::stalls).sum();
+    Ok(RoutingOutcome {
+        routes,
+        makespan,
+        total_moves,
+        total_stalls,
+        rotations: 0,
+    })
+}
+
+/// Attempts to plan every request in the given order. On failure returns
+/// the *position in `order`* of the request that could not be planned.
+fn try_order(
+    grid: &Grid,
+    requests: &[RoutingRequest],
+    obstacles: &[Obstacle],
+    order: &[usize],
+    config: &RoutingConfig,
+) -> Result<HashMap<usize, Route>, usize> {
+    let mut planned: Vec<(Route, Option<u32>)> = Vec::new();
+    let mut by_index = HashMap::new();
+    for (pos, &idx) in order.iter().enumerate() {
+        let req = &requests[idx];
+        match astar(grid, req, obstacles, &planned, config) {
+            Some(route) => {
+                planned.push((route.clone(), req.merge_group));
+                by_index.insert(idx, route);
+            }
+            None => return Err(pos),
+        }
+    }
+    Ok(by_index)
+}
+
+/// Is occupying `next` at `t + 1` compatible with every already-planned
+/// route, under the configured lookahead?
+///
+/// All rules reduce to conditions on the *destination* cell: being at
+/// `next` at time `τ = t + 1` requires staying ≥ 2 (Chebyshev) from a
+/// planned droplet's position at `τ` (static rule), at `τ − 1` (our move
+/// into a cell it is vacating) and at `τ + 1` (its move into a cell next
+/// to us). Checking the last condition here — at the transition that
+/// *enters* the cell — is essential: checking it one step later would
+/// reject every successor of an already-doomed state instead of pruning
+/// the doomed state itself.
+fn move_ok(
+    next: Cell,
+    t: u32,
+    planned: &[(Route, Option<u32>)],
+    my_group: Option<u32>,
+    lookahead: u32,
+) -> bool {
+    for (r, group) in planned {
+        // Merge partners are exempt from mutual spacing: early contact is
+        // an early (intended) merge.
+        if my_group.is_some() && *group == my_group {
+            continue;
+        }
+        // Static rule at the arrival instant.
+        if let Some(p) = r.position_at(t + 1) {
+            if next.chebyshev(p) < MIN_SEPARATION {
+                return false;
+            }
+        }
+        if lookahead >= 1 {
+            // Dynamic rule: our new cell versus their old cell…
+            if let Some(p) = r.position_at(t) {
+                if next.chebyshev(p) < MIN_SEPARATION {
+                    return false;
+                }
+            }
+            // …and their next move versus our new cell.
+            if let Some(p) = r.position_at(t + 2) {
+                if next.chebyshev(p) < MIN_SEPARATION {
+                    return false;
+                }
+            }
+        }
+        if lookahead >= 2 {
+            // Anticipatory: stay clear of where they will be after that.
+            if let Some(p) = r.position_at(t + 3) {
+                if next.chebyshev(p) < MIN_SEPARATION {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Space-time A\* for one droplet against planned reservations.
+fn astar(
+    grid: &Grid,
+    req: &RoutingRequest,
+    obstacles: &[Obstacle],
+    planned: &[(Route, Option<u32>)],
+    config: &RoutingConfig,
+) -> Option<Route> {
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        f: u32,
+        moves: u32,
+        cell: Cell,
+        t: u32,
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            other
+                .f
+                .cmp(&self.f)
+                .then_with(|| other.moves.cmp(&self.moves))
+                .then_with(|| other.t.cmp(&self.t))
+                .then_with(|| other.cell.cmp(&self.cell))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let blocked = |cell: Cell, t: u32| {
+        obstacles
+            .iter()
+            .any(|o| !req.ignore_tags.contains(&o.tag) && o.blocks(cell, t))
+    };
+
+    let relative_cap = req.depart.saturating_add(config.max_time);
+    let horizon = req.deadline.unwrap_or(relative_cap).min(relative_cap);
+    let h0 = req.start.manhattan(req.goal) as u32;
+    if req.depart + h0 > horizon {
+        return None;
+    }
+
+    let mut open = BinaryHeap::new();
+    let mut best: HashMap<(Cell, u32), u32> = HashMap::new();
+    // Sentinel parent time 0 marks seed states during reconstruction.
+    let mut parent: HashMap<(Cell, u32), (Cell, u32)> = HashMap::new();
+
+    // The droplet is physically on the array from `depart` on: there is
+    // exactly one search seed, and any waiting happens as explicit stall
+    // moves that the pairwise constraints check and the verifier sees.
+    // Appearance at tick τ must clear every planned droplet at τ−1
+    // (their vacated cell), τ (static) and τ+1 (their next move) — plus
+    // τ+2 under anticipatory lookahead.
+    let emergence_legal = {
+        let t0 = req.depart;
+        let lo = t0.saturating_sub(1);
+        let hi = t0 + if config.lookahead >= 2 { 2 } else { 1 };
+        !blocked(req.start, t0)
+            && planned.iter().all(|(r, group)| {
+                if req.merge_group.is_some() && *group == req.merge_group {
+                    return true;
+                }
+                (lo..=hi).all(|tt| match r.position_at(tt) {
+                    Some(p) => req.start.chebyshev(p) >= MIN_SEPARATION,
+                    None => true,
+                })
+            })
+    };
+    if emergence_legal {
+        open.push(Node {
+            f: req.depart + h0,
+            moves: 0,
+            cell: req.start,
+            t: req.depart,
+        });
+        best.insert((req.start, req.depart), 0);
+    }
+
+    while let Some(Node { cell, t, moves, .. }) = open.pop() {
+        if moves > *best.get(&(cell, t)).unwrap_or(&u32::MAX) {
+            continue; // stale heap entry
+        }
+        if cell == req.goal && t >= req.earliest_arrival.unwrap_or(0) {
+            // Reconstruct back to the emergence seed; the route starts on
+            // the array at that instant (`Route::depart`), any earlier
+            // time having been spent inside the producer module.
+            let mut path = vec![cell];
+            let mut cur = (cell, t);
+            while let Some(&prev) = parent.get(&cur) {
+                path.push(prev.0);
+                cur = prev;
+            }
+            path.reverse();
+            let depart = t - (path.len() as u32 - 1);
+            return Some(Route {
+                id: req.id,
+                depart,
+                path,
+            });
+        }
+        if t >= horizon {
+            continue;
+        }
+        let candidates = std::iter::once(cell).chain(grid.neighbors(cell));
+        for next in candidates {
+            let h = next.manhattan(req.goal) as u32;
+            if t + 1 + h > horizon {
+                continue; // cannot make the deadline from there
+            }
+            if blocked(next, t + 1) {
+                continue;
+            }
+            if !move_ok(next, t, planned, req.merge_group, config.lookahead) {
+                continue;
+            }
+            let new_moves = moves + u32::from(next != cell);
+            let key = (next, t + 1);
+            let known = best.get(&key).copied().unwrap_or(u32::MAX);
+            if new_moves < known {
+                best.insert(key, new_moves);
+                parent.insert(key, (cell, t));
+                open.push(Node {
+                    f: t + 1 + h,
+                    moves: new_moves,
+                    cell: next,
+                    t: t + 1,
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::verify_routes;
+
+    fn grid(w: i32, h: i32) -> Grid {
+        Grid::new(w, h).expect("valid grid")
+    }
+
+    #[test]
+    fn single_droplet_takes_shortest_path() {
+        let g = grid(8, 8);
+        let req = RoutingRequest::new(0, Cell::new(0, 0), Cell::new(5, 3));
+        let out = route_concurrent(&g, &[req], &RoutingConfig::default()).unwrap();
+        assert_eq!(out.makespan, 8);
+        assert_eq!(out.total_moves, 8);
+        assert_eq!(out.total_stalls, 0);
+    }
+
+    #[test]
+    fn crossing_droplets_stay_safe() {
+        let g = grid(10, 10);
+        let reqs = vec![
+            RoutingRequest::new(0, Cell::new(0, 5), Cell::new(9, 5)),
+            RoutingRequest::new(1, Cell::new(5, 0), Cell::new(5, 9)),
+        ];
+        let out = route_concurrent(&g, &reqs, &RoutingConfig::default()).unwrap();
+        assert!(verify_routes(&out.routes).is_empty());
+        // Concurrent must beat the serial baseline.
+        let serial = route_serial(&g, &reqs, &RoutingConfig::default()).unwrap();
+        assert!(out.makespan < serial.makespan);
+    }
+
+    #[test]
+    fn many_droplets_verify_clean() {
+        let g = grid(16, 16);
+        let reqs: Vec<RoutingRequest> = (0..6)
+            .map(|i| {
+                RoutingRequest::new(
+                    i,
+                    Cell::new(0, (i as i32) * 3),
+                    Cell::new(15, 15 - (i as i32) * 3),
+                )
+            })
+            .collect();
+        let out = route_concurrent(&g, &reqs, &RoutingConfig::default()).unwrap();
+        assert_eq!(out.routes.len(), 6);
+        assert!(verify_routes(&out.routes).is_empty());
+    }
+
+    #[test]
+    fn head_on_conflict_resolved_with_stalls_or_detours() {
+        // Two droplets swapping ends of a corridor just wide enough for a
+        // safe detour (Chebyshev separation 2 needs 5 rows).
+        let g = grid(9, 5);
+        let reqs = vec![
+            RoutingRequest::new(0, Cell::new(0, 2), Cell::new(8, 2)),
+            RoutingRequest::new(1, Cell::new(8, 2), Cell::new(0, 2)),
+        ];
+        let out = route_concurrent(&g, &reqs, &RoutingConfig::default()).unwrap();
+        assert!(verify_routes(&out.routes).is_empty());
+        // Somebody detoured or stalled: combined cost exceeds the two
+        // Manhattan distances.
+        assert!(out.total_moves + out.total_stalls > 16);
+    }
+
+    #[test]
+    fn obstacle_blocks_region() {
+        let g = grid(8, 8);
+        // Permanent wall across columns 2–4 except a gap at the top row.
+        let wall = Obstacle {
+            min: Cell::new(3, 0),
+            max: Cell::new(3, 5),
+            from: 0,
+            until: u32::MAX,
+            tag: 0,
+        };
+        let req = RoutingRequest::new(0, Cell::new(0, 0), Cell::new(7, 0));
+        let out =
+            route_with_obstacles(&g, &[req], &[wall], &RoutingConfig::default()).unwrap();
+        // Must detour through the y = 7 gap: longer than Manhattan.
+        assert!(out.total_moves > 7, "moves = {}", out.total_moves);
+        // Every visited cell avoids the expanded obstacle.
+        for (k, c) in out.routes[0].path.iter().enumerate() {
+            assert!(!wall.blocks(*c, k as u32));
+        }
+    }
+
+    #[test]
+    fn deadline_enforced() {
+        let g = grid(8, 8);
+        let req = RoutingRequest::new(0, Cell::new(0, 0), Cell::new(7, 7)).with_deadline(5);
+        let err = route_concurrent(&g, &[req], &RoutingConfig::default()).unwrap_err();
+        assert_eq!(err, RouteError::DeadlineMissed(0));
+    }
+
+    #[test]
+    fn departure_offsets_respected() {
+        let g = grid(8, 8);
+        let req = RoutingRequest::new(7, Cell::new(0, 0), Cell::new(3, 0)).departing(10);
+        let out = route_concurrent(&g, &[req], &RoutingConfig::default()).unwrap();
+        let route = &out.routes[0];
+        assert_eq!(route.depart, 10);
+        assert_eq!(route.position_at(9), None);
+        assert_eq!(route.position_at(10), Some(Cell::new(0, 0)));
+        assert_eq!(route.arrival(), 13);
+    }
+
+    #[test]
+    fn off_grid_endpoint_rejected() {
+        let g = grid(8, 8);
+        let req = RoutingRequest::new(3, Cell::new(-1, 0), Cell::new(3, 0));
+        assert_eq!(
+            route_concurrent(&g, &[req], &RoutingConfig::default()).unwrap_err(),
+            RouteError::BadEndpoint(3)
+        );
+    }
+
+    #[test]
+    fn lookahead_zero_can_violate_dynamic_rule() {
+        // The A2 ablation: with lookahead 0 the router only enforces the
+        // static rule, so the verifier may find dynamic violations on
+        // congested instances. We merely check the router still produces
+        // routes and the verifier is the safety net.
+        let g = grid(8, 8);
+        let reqs = vec![
+            RoutingRequest::new(0, Cell::new(0, 3), Cell::new(7, 3)),
+            RoutingRequest::new(1, Cell::new(7, 4), Cell::new(0, 4)),
+        ];
+        let cfg = RoutingConfig {
+            lookahead: 0,
+            ..RoutingConfig::default()
+        };
+        let out = route_concurrent(&g, &reqs, &cfg).unwrap();
+        let violations = verify_routes(&out.routes);
+        // Static violations must never appear even at lookahead 0.
+        assert!(violations.iter().all(|v| !v.static_rule));
+    }
+
+    #[test]
+    fn rotation_counter_reported() {
+        let g = grid(6, 6);
+        let reqs = vec![
+            RoutingRequest::new(0, Cell::new(0, 0), Cell::new(5, 0)),
+            RoutingRequest::new(1, Cell::new(5, 5), Cell::new(0, 5)),
+        ];
+        let out = route_concurrent(&g, &reqs, &RoutingConfig::default()).unwrap();
+        assert_eq!(out.rotations, 0, "disjoint rows need no rotation");
+    }
+}
+

@@ -1,0 +1,152 @@
+//! Random workload generation for routing benchmarks (experiment E1).
+
+use rand::Rng;
+
+use crate::assay::{Assay, OpId};
+use crate::geometry::{Cell, Grid};
+use crate::route::RoutingRequest;
+
+/// Parameters of a random multi-droplet routing instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutingWorkload {
+    /// Array side length (square grid).
+    pub grid_side: i32,
+    /// Number of droplets.
+    pub droplets: usize,
+}
+
+/// Generates a random routing instance: `droplets` droplets with mutually
+/// safe start cells and mutually safe goal cells (pairwise Chebyshev ≥ 2),
+/// start ≠ goal.
+///
+/// # Panics
+///
+/// Panics if the grid is too small to host that many droplets at safe
+/// spacing (needs roughly `grid_side² ≥ 9 · droplets`).
+pub fn random_routing_instance<R: Rng>(
+    workload: &RoutingWorkload,
+    rng: &mut R,
+) -> (Grid, Vec<RoutingRequest>) {
+    let side = workload.grid_side;
+    let grid = Grid::new(side, side).expect("workload grid side must be ≥ 3");
+    assert!(
+        (side as usize) * (side as usize) >= 9 * workload.droplets,
+        "grid {side}×{side} too small for {} droplets",
+        workload.droplets
+    );
+
+    let pick_spread = |rng: &mut R, exclude: &[Cell]| -> Vec<Cell> {
+        let mut cells: Vec<Cell> = Vec::new();
+        let mut attempts = 0;
+        while cells.len() < workload.droplets {
+            attempts += 1;
+            assert!(
+                attempts < 100_000,
+                "failed to spread {} droplets on {side}×{side}",
+                workload.droplets
+            );
+            let c = Cell::new(rng.gen_range(0..side), rng.gen_range(0..side));
+            let safe = cells.iter().all(|&o| c.chebyshev(o) >= 2)
+                && !exclude.contains(&c);
+            if safe {
+                cells.push(c);
+            }
+        }
+        cells
+    };
+
+    let starts = pick_spread(rng, &[]);
+    let goals = pick_spread(rng, &starts);
+    let requests = starts
+        .into_iter()
+        .zip(goals)
+        .enumerate()
+        .map(|(i, (s, g))| RoutingRequest::new(i as u32, s, g))
+        .collect();
+    (grid, requests)
+}
+
+/// Generates a random but always-valid assay DAG: `mixes` binary mix
+/// operations over dispensed reagents and earlier products, each product
+/// eventually detected or sent to waste. Exercises the scheduler/router on
+/// irregular dependency structures.
+pub fn random_assay<R: Rng>(mixes: usize, rng: &mut R) -> Assay {
+    let mut b = Assay::builder();
+    // Available droplets: (producer op, remaining outputs).
+    let mut available: Vec<OpId> = Vec::new();
+    let take = |available: &mut Vec<OpId>,
+                    b: &mut crate::assay::AssayBuilder,
+                    rng: &mut R|
+     -> OpId {
+        if available.is_empty() || rng.gen_bool(0.4) {
+            b.dispense(&format!("reagent{}", rng.gen_range(0..4)))
+        } else {
+            let k = rng.gen_range(0..available.len());
+            available.swap_remove(k)
+        }
+    };
+    for _ in 0..mixes.max(1) {
+        let a = take(&mut available, &mut b, rng);
+        let c = take(&mut available, &mut b, rng);
+        let m = b.mix(a, c);
+        available.push(m);
+    }
+    // Terminate every leftover droplet.
+    for id in available {
+        if rng.gen_bool(0.5) {
+            b.detect(id);
+        } else {
+            b.output(id);
+        }
+    }
+    b.build().expect("generated assay is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn instance_is_safe_and_deterministic() {
+        let w = RoutingWorkload {
+            grid_side: 16,
+            droplets: 8,
+        };
+        let mut r1 = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let (_, a) = random_routing_instance(&w, &mut r1);
+        let mut r2 = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let (_, b) = random_routing_instance(&w, &mut r2);
+        assert_eq!(a, b);
+        for i in 0..a.len() {
+            assert_ne!(a[i].start, a[i].goal);
+            for j in i + 1..a.len() {
+                assert!(a[i].start.chebyshev(a[j].start) >= 2);
+                assert!(a[i].goal.chebyshev(a[j].goal) >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn random_assays_are_valid_and_deterministic() {
+        use rand::SeedableRng;
+        for seed in 0..20u64 {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let a = random_assay(5, &mut rng);
+            assert!(a.len() >= 6);
+            let mut rng2 = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            assert_eq!(a, random_assay(5, &mut rng2));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn oversubscribed_grid_panics() {
+        let w = RoutingWorkload {
+            grid_side: 6,
+            droplets: 10,
+        };
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let _ = random_routing_instance(&w, &mut rng);
+    }
+}

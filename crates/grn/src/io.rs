@@ -1,0 +1,200 @@
+//! Textual network interchange (BoolNet-style).
+//!
+//! The keynote's "cooperative engineering" slide (41) calls for shared
+//! vocabulary between disciplines; in practice gene-network models move
+//! between tools as plain text. This module reads and writes the de-facto
+//! standard BoolNet format:
+//!
+//! ```text
+//! targets, factors
+//! GATA3, (GATA3 | STAT6) & !Tbet
+//! Tbet,  (Tbet | STAT1) & !GATA3
+//! ```
+//!
+//! Comment lines start with `#`. Constants are written `1`/`0` (inputs
+//! frozen by scenario configuration round-trip as constants).
+
+use std::error::Error;
+use std::fmt;
+
+use crate::expr::Expr;
+use crate::network::{BooleanNetwork, NetworkError};
+
+/// Error reading a network description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseNetworkError {
+    /// The `targets, factors` header is missing.
+    MissingHeader,
+    /// A line is not of the form `name, expression`.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Gene/rule validation failed.
+    Network(NetworkError),
+}
+
+impl fmt::Display for ParseNetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseNetworkError::MissingHeader => {
+                f.write_str("missing 'targets, factors' header")
+            }
+            ParseNetworkError::BadLine { line } => {
+                write!(f, "line {line}: expected 'name, expression'")
+            }
+            ParseNetworkError::Network(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for ParseNetworkError {}
+
+impl From<NetworkError> for ParseNetworkError {
+    fn from(e: NetworkError) -> Self {
+        ParseNetworkError::Network(e)
+    }
+}
+
+/// Serializes a network in BoolNet format. The output round-trips through
+/// [`from_boolnet`].
+pub fn to_boolnet(net: &BooleanNetwork) -> String {
+    let mut out = String::from("targets, factors\n");
+    let name = |i: usize| net.gene_name(i).to_owned();
+    for (i, rule) in net.rules().iter().enumerate() {
+        let rhs = match rule {
+            Expr::Const(true) => "1".to_owned(),
+            Expr::Const(false) => "0".to_owned(),
+            other => other.display_with(&name),
+        };
+        out.push_str(&format!("{}, {}\n", net.gene_name(i), rhs));
+    }
+    out
+}
+
+/// Parses a BoolNet-format network description.
+///
+/// # Errors
+///
+/// Returns [`ParseNetworkError`] on malformed input or invalid rules.
+pub fn from_boolnet(text: &str) -> Result<BooleanNetwork, ParseNetworkError> {
+    let mut lines = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        lines.push((idx + 1, line));
+    }
+    let Some(&(_, header)) = lines.first() else {
+        return Err(ParseNetworkError::MissingHeader);
+    };
+    let normalized: String = header
+        .chars()
+        .filter(|c| !c.is_whitespace())
+        .collect::<String>()
+        .to_lowercase();
+    if normalized != "targets,factors" {
+        return Err(ParseNetworkError::MissingHeader);
+    }
+
+    // First pass: declare genes in order so rules can reference any gene.
+    let mut entries = Vec::new();
+    for &(line_no, line) in &lines[1..] {
+        let Some((name, rule)) = line.split_once(',') else {
+            return Err(ParseNetworkError::BadLine { line: line_no });
+        };
+        let name = name.trim();
+        let rule = rule.trim();
+        if name.is_empty() || rule.is_empty() {
+            return Err(ParseNetworkError::BadLine { line: line_no });
+        }
+        entries.push((name.to_owned(), rule.to_owned()));
+    }
+    let mut builder = BooleanNetwork::builder();
+    for (name, _) in &entries {
+        builder = builder.gene(name);
+    }
+    for (name, rule) in &entries {
+        builder = builder.rule(name, rule)?;
+    }
+    Ok(builder.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{arabidopsis, t_helper, FloralInputs};
+    use crate::network::State;
+
+    #[test]
+    fn round_trip_simple_network() {
+        let net = BooleanNetwork::builder()
+            .genes(&["a", "b", "c"])
+            .rule("a", "!b | c")
+            .unwrap()
+            .rule("b", "a & !c")
+            .unwrap()
+            .input("c", true)
+            .unwrap()
+            .build()
+            .unwrap();
+        let text = to_boolnet(&net);
+        let back = from_boolnet(&text).expect("round trip");
+        assert_eq!(back.genes(), net.genes());
+        for bits in 0..8u64 {
+            assert_eq!(
+                back.sync_step(State::from_bits(bits)),
+                net.sync_step(State::from_bits(bits))
+            );
+        }
+    }
+
+    #[test]
+    fn round_trip_case_study_models() {
+        for net in [t_helper(), arabidopsis(FloralInputs::whorls()[2])] {
+            let back = from_boolnet(&to_boolnet(&net)).expect("round trip");
+            assert_eq!(back.genes(), net.genes());
+            // Behavioural equivalence on sampled states.
+            for k in 0..64u64 {
+                let s = State::from_bits(k.wrapping_mul(0x9E37_79B9_7F4A_7C15) & ((1 << net.len()) - 1));
+                assert_eq!(back.sync_step(s), net.sync_step(s));
+            }
+        }
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "# a toggle\n\ntargets, factors\n a , !b \n b, !a\n";
+        let net = from_boolnet(text).expect("parses");
+        assert_eq!(net.genes(), &["a".to_owned(), "b".to_owned()]);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(
+            from_boolnet("").unwrap_err(),
+            ParseNetworkError::MissingHeader
+        );
+        assert_eq!(
+            from_boolnet("genes, rules\na, b\n").unwrap_err(),
+            ParseNetworkError::MissingHeader
+        );
+        assert_eq!(
+            from_boolnet("targets, factors\njust-a-name\n").unwrap_err(),
+            ParseNetworkError::BadLine { line: 2 }
+        );
+        assert!(matches!(
+            from_boolnet("targets, factors\na, unknown_gene\n").unwrap_err(),
+            ParseNetworkError::Network(_)
+        ));
+    }
+
+    #[test]
+    fn forward_references_allowed() {
+        // b's rule references a gene declared later.
+        let text = "targets, factors\nb, a\na, !b\n";
+        let net = from_boolnet(text).expect("parses");
+        assert_eq!(net.len(), 2);
+    }
+}

@@ -1,0 +1,157 @@
+//! Random Boolean network generation (Kauffman NK-style) for scaling
+//! experiments (E5: simulation versus traversal).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::expr::Expr;
+use crate::network::{BooleanNetwork, MAX_GENES};
+
+/// Configuration for [`random_network`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomNetworkConfig {
+    /// Number of genes (≤ 64).
+    pub genes: usize,
+    /// Regulators per gene (K of the NK model); capped at 4 to keep rule
+    /// truth tables small.
+    pub regulators: usize,
+    /// Probability that a truth-table row outputs 1.
+    pub bias: f64,
+}
+
+impl Default for RandomNetworkConfig {
+    fn default() -> Self {
+        RandomNetworkConfig {
+            genes: 12,
+            regulators: 2,
+            bias: 0.5,
+        }
+    }
+}
+
+/// Generates a random Boolean network: each gene gets `regulators` distinct
+/// random regulators and a random truth table with the given bias, encoded
+/// as a DNF expression.
+///
+/// # Panics
+///
+/// Panics if `genes` is zero or exceeds [`MAX_GENES`], `regulators` is zero,
+/// exceeds 4, or exceeds `genes`, or `bias` is outside `[0, 1]`.
+pub fn random_network<R: Rng>(cfg: &RandomNetworkConfig, rng: &mut R) -> BooleanNetwork {
+    assert!(
+        cfg.genes > 0 && cfg.genes <= MAX_GENES,
+        "gene count must be in 1..={MAX_GENES}"
+    );
+    assert!(
+        cfg.regulators > 0 && cfg.regulators <= 4 && cfg.regulators <= cfg.genes,
+        "regulator count must be in 1..=min(4, genes)"
+    );
+    assert!(
+        (0.0..=1.0).contains(&cfg.bias),
+        "bias must be a probability"
+    );
+
+    let mut builder = BooleanNetwork::builder();
+    for i in 0..cfg.genes {
+        builder = builder.gene(&format!("g{i}"));
+    }
+    let all: Vec<usize> = (0..cfg.genes).collect();
+    for i in 0..cfg.genes {
+        let regs: Vec<usize> = all
+            .choose_multiple(rng, cfg.regulators)
+            .copied()
+            .collect();
+        let rows = 1usize << cfg.regulators;
+        let mut minterms = Vec::new();
+        for row in 0..rows {
+            if rng.gen_bool(cfg.bias) {
+                let literals = regs.iter().enumerate().map(|(bit, &g)| {
+                    if row >> bit & 1 == 1 {
+                        Expr::var(g)
+                    } else {
+                        Expr::not(Expr::var(g))
+                    }
+                });
+                minterms.push(Expr::and_all(literals));
+            }
+        }
+        let rule = Expr::or_all(minterms);
+        builder = builder
+            .rule_expr(&format!("g{i}"), rule)
+            .expect("gene was just declared");
+    }
+    builder.build().expect("every gene got a rule")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_requested_shape() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let cfg = RandomNetworkConfig {
+            genes: 10,
+            regulators: 3,
+            bias: 0.5,
+        };
+        let net = random_network(&cfg, &mut rng);
+        assert_eq!(net.len(), 10);
+        for rule in net.rules() {
+            assert!(rule.support().len() <= 3);
+        }
+    }
+
+    #[test]
+    fn is_deterministic_per_seed() {
+        let cfg = RandomNetworkConfig::default();
+        let mut r1 = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        let mut r2 = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        assert_eq!(random_network(&cfg, &mut r1), random_network(&cfg, &mut r2));
+    }
+
+    #[test]
+    fn bias_extremes_yield_constant_rules() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+        let zero = random_network(
+            &RandomNetworkConfig {
+                genes: 5,
+                regulators: 2,
+                bias: 0.0,
+            },
+            &mut rng,
+        );
+        for rule in zero.rules() {
+            assert_eq!(*rule, Expr::Const(false));
+        }
+        let one = random_network(
+            &RandomNetworkConfig {
+                genes: 5,
+                regulators: 2,
+                bias: 1.0,
+            },
+            &mut rng,
+        );
+        // All-ones truth table: DNF over all minterms, semantically true.
+        for rule in one.rules() {
+            for bits in 0..32u64 {
+                assert!(rule.eval_bits(bits));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "regulator")]
+    fn rejects_excess_regulators() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let _ = random_network(
+            &RandomNetworkConfig {
+                genes: 3,
+                regulators: 5,
+                bias: 0.5,
+            },
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! # mns-noc — network-on-chip synthesis, routing and simulation
+//!
+//! Keynote slide 10 shows a complete NoC synthesis flow — communication
+//! graph in, synthesized topology, routes and evaluation out — and slide 11
+//! extends it to 3-D stacks connected by through-silicon vias. This crate
+//! implements that flow end to end:
+//!
+//! * [`graph`] — core-to-core communication graphs and the standard
+//!   synthetic workloads (hotspot, pipeline, random),
+//! * [`topology`] — regular topologies (2-D mesh/torus, 3-D mesh with
+//!   [`LinkClass::Vertical`] TSV links) and arbitrary synthesized ones,
+//! * [`synthesis`] — application-specific topology synthesis by recursive
+//!   balanced min-cut (Kernighan–Lin refinement) plus shortcut insertion
+//!   for heavy flows; a greedy-merge baseline for ablation A3,
+//! * [`routing`] — deterministic routes (XYZ for meshes, tree/shortcut
+//!   routes for synthesized fabrics) with a channel-dependency-graph
+//!   deadlock certificate,
+//! * [`sim`] — an event-driven packet-level simulator on
+//!   [`mns_sim::Engine`]: Poisson injection, store-and-forward links,
+//!   latency/throughput statistics,
+//! * [`power`] — first-order energy and area proxies (TSV links cost less
+//!   energy than planar ones).
+//!
+//! ## Example: the slide-10 flow in six lines
+//!
+//! ```
+//! use mns_noc::graph::CommGraph;
+//! use mns_noc::routing::compute_routes;
+//! use mns_noc::synthesis::{synthesize, SynthesisConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let app = CommGraph::hotspot(12, 1.0);
+//! let topo = synthesize(&app, &SynthesisConfig::default());
+//! let routes = compute_routes(&topo, &app)?;
+//! assert!(routes.deadlock_free);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod power;
+pub mod routing;
+pub mod sim;
+pub mod synthesis;
+pub mod topology;
+
+pub use graph::{CommGraph, Flow};
+pub use topology::{LinkClass, Topology};

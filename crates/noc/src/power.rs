@@ -1,0 +1,130 @@
+//! First-order NoC power and area proxies.
+//!
+//! Absolute numbers are technology-dependent; what experiments E7/E8 need
+//! is the *relative* cost of topologies, so the model charges a fixed
+//! energy per flit-hop, split into router traversal and link traversal,
+//! with TSV (vertical) links cheaper than planar wires — the slide-11
+//! argument for 3-D integration.
+
+use crate::graph::CommGraph;
+use crate::topology::{LinkClass, Topology};
+
+/// Energy coefficients (arbitrary units per flit).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Energy per flit through one router.
+    pub e_router: f64,
+    /// Energy per flit over one planar link.
+    pub e_planar: f64,
+    /// Energy per flit over one TSV; much shorter wire, lower energy.
+    pub e_vertical: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel {
+            e_router: 1.0,
+            e_planar: 1.0,
+            e_vertical: 0.3,
+        }
+    }
+}
+
+impl PowerModel {
+    /// Energy for one flit along a router path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if consecutive routers on the path are not linked.
+    pub fn path_energy(&self, topo: &Topology, path: &[usize]) -> f64 {
+        let mut energy = self.e_router * path.len() as f64;
+        for w in path.windows(2) {
+            let class = topo
+                .neighbors(w[0])
+                .iter()
+                .find(|&&(n, _)| n == w[1])
+                .map(|&(_, c)| c)
+                .unwrap_or_else(|| panic!("path uses missing link {}-{}", w[0], w[1]));
+            energy += match class {
+                LinkClass::Planar => self.e_planar,
+                LinkClass::Vertical => self.e_vertical,
+            };
+        }
+        energy
+    }
+
+    /// Rate-weighted mean energy per flit across all flows.
+    pub fn traffic_energy(&self, topo: &Topology, app: &CommGraph, paths: &[Vec<usize>]) -> f64 {
+        let total: f64 = app.flows().iter().map(|f| f.rate).sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        app.flows()
+            .iter()
+            .zip(paths)
+            .map(|(f, p)| f.rate * self.path_energy(topo, p))
+            .sum::<f64>()
+            / total
+    }
+}
+
+/// Router-area proxy: sum of squared port counts (crossbar area grows
+/// quadratically with ports). Core attachment ports are included.
+pub fn area_proxy(topo: &Topology) -> f64 {
+    let mut degree = vec![0usize; topo.routers()];
+    for l in topo.links() {
+        degree[l.a] += 1;
+        degree[l.b] += 1;
+    }
+    for &r in topo.attachment() {
+        degree[r] += 1;
+    }
+    degree.iter().map(|&d| (d * d) as f64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::compute_routes;
+
+    #[test]
+    fn vertical_links_are_cheaper() {
+        let pm = PowerModel::default();
+        let cube = Topology::mesh3d(2, 2, 2);
+        // 0→4 is one vertical hop; 0→1 one planar hop.
+        let vertical = pm.path_energy(&cube, &[0, 4]);
+        let planar = pm.path_energy(&cube, &[0, 1]);
+        assert!(vertical < planar);
+    }
+
+    #[test]
+    fn three_d_saves_traffic_energy_on_uniform_traffic() {
+        let pm = PowerModel::default();
+        let app = CommGraph::uniform(64, 1.0);
+        let flat = Topology::mesh2d(8, 8);
+        let cube = Topology::mesh3d(4, 4, 4);
+        let flat_routes = compute_routes(&flat, &app).unwrap();
+        let cube_routes = compute_routes(&cube, &app).unwrap();
+        let e_flat = pm.traffic_energy(&flat, &app, &flat_routes.paths);
+        let e_cube = pm.traffic_energy(&cube, &app, &cube_routes.paths);
+        assert!(
+            e_cube < e_flat,
+            "3-D should cost less energy: {e_cube} vs {e_flat}"
+        );
+    }
+
+    #[test]
+    fn area_proxy_counts_ports_quadratically() {
+        let line = Topology::mesh2d(3, 1);
+        // Degrees incl. core port: 2, 3, 2 → 4 + 9 + 4.
+        assert_eq!(area_proxy(&line), 17.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing link")]
+    fn bogus_path_panics() {
+        let pm = PowerModel::default();
+        let m = Topology::mesh2d(3, 3);
+        let _ = pm.path_energy(&m, &[0, 8]);
+    }
+}

@@ -1,0 +1,408 @@
+//! Deterministic route computation with a deadlock certificate.
+//!
+//! Meshes use dimension-ordered XYZ routing (provably deadlock-free);
+//! irregular synthesized fabrics use up\*/down\* routing over a BFS
+//! spanning order (also provably deadlock-free). Either way the result is
+//! *certified*: the channel-dependency graph of the concrete route set is
+//! built and checked for cycles, *"structured design with synthesis and
+//! optimization support"* (slide 10) made executable.
+
+use std::collections::{HashMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+use crate::graph::CommGraph;
+use crate::topology::Topology;
+
+/// Computed routes for every flow of a communication graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Routes {
+    /// Router path per flow (same order as the graph's flows), inclusive
+    /// of endpoints.
+    pub paths: Vec<Vec<usize>>,
+    /// Whether the channel-dependency graph of these routes is acyclic.
+    pub deadlock_free: bool,
+    /// Mean hops across flows (unweighted).
+    pub avg_hops: f64,
+    /// Rate-weighted mean hops — the latency/energy proxy used by E7.
+    pub weighted_hops: f64,
+}
+
+/// Route computation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoutingError {
+    /// Source and destination routers are not connected.
+    Disconnected {
+        /// Flow index in the communication graph.
+        flow: usize,
+    },
+    /// A flow references a core with no attachment.
+    BadCore {
+        /// Flow index in the communication graph.
+        flow: usize,
+    },
+}
+
+impl fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutingError::Disconnected { flow } => {
+                write!(f, "flow {flow} endpoints are not connected")
+            }
+            RoutingError::BadCore { flow } => write!(f, "flow {flow} references an unmapped core"),
+        }
+    }
+}
+
+impl Error for RoutingError {}
+
+/// Dimension-ordered XYZ path on a mesh.
+fn xyz_path(topo: &Topology, from: usize, to: usize) -> Vec<usize> {
+    let (w, h, _) = topo.mesh_dims().expect("xyz routing needs a mesh");
+    let id = |x: usize, y: usize, z: usize| z * w * h + y * w + x;
+    let (mut x, mut y, mut z) = topo.mesh_coords(from).expect("mesh coords");
+    let (tx, ty, tz) = topo.mesh_coords(to).expect("mesh coords");
+    let mut path = vec![from];
+    while x != tx {
+        x = if x < tx { x + 1 } else { x - 1 };
+        path.push(id(x, y, z));
+    }
+    while y != ty {
+        y = if y < ty { y + 1 } else { y - 1 };
+        path.push(id(x, y, z));
+    }
+    while z != tz {
+        z = if z < tz { z + 1 } else { z - 1 };
+        path.push(id(x, y, z));
+    }
+    path
+}
+
+/// BFS order (level, id) from router 0 used as the up\*/down\* partial
+/// order: "up" moves toward smaller (level, id).
+fn updown_order(topo: &Topology) -> Vec<(usize, usize)> {
+    let mut level = vec![usize::MAX; topo.routers()];
+    level[0] = 0;
+    let mut queue = VecDeque::from([0usize]);
+    while let Some(r) = queue.pop_front() {
+        for &(n, _) in topo.neighbors(r) {
+            if level[n] == usize::MAX {
+                level[n] = level[r] + 1;
+                queue.push_back(n);
+            }
+        }
+    }
+    level.into_iter().enumerate().map(|(r, l)| (l, r)).collect()
+}
+
+/// Shortest up\*/down\*-legal path: a sequence of "up" edges followed by a
+/// sequence of "down" edges (either part may be empty).
+fn updown_path(
+    topo: &Topology,
+    order: &[(usize, usize)],
+    from: usize,
+    to: usize,
+) -> Option<Vec<usize>> {
+    if from == to {
+        return Some(vec![from]);
+    }
+    // State: (router, has_descended).
+    let mut prev: HashMap<(usize, bool), (usize, bool)> = HashMap::new();
+    let mut queue = VecDeque::from([(from, false)]);
+    prev.insert((from, false), (from, false));
+    while let Some((r, down)) = queue.pop_front() {
+        for &(n, _) in topo.neighbors(r) {
+            let is_up = order[n] < order[r];
+            // Once descending, ascending again is illegal.
+            if down && is_up {
+                continue;
+            }
+            let state = (n, down || !is_up);
+            if prev.contains_key(&state) {
+                continue;
+            }
+            prev.insert(state, (r, down));
+            if n == to {
+                // Reconstruct.
+                let mut path = vec![n];
+                let mut cur = state;
+                while cur.0 != from || prev[&cur] != cur {
+                    cur = prev[&cur];
+                    path.push(cur.0);
+                    if cur == prev[&cur] {
+                        break;
+                    }
+                }
+                path.reverse();
+                return Some(path);
+            }
+            queue.push_back(state);
+        }
+    }
+    None
+}
+
+/// Checks that the channel-dependency graph of the route set is acyclic.
+/// CDG nodes are directed links; an edge connects each consecutive link
+/// pair used by some route.
+pub fn channel_dependencies_acyclic(paths: &[Vec<usize>]) -> bool {
+    // Collect directed links and dependencies.
+    let mut link_id: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut deps: Vec<Vec<usize>> = Vec::new();
+    let mut id_of = |a: usize, b: usize, deps: &mut Vec<Vec<usize>>| -> usize {
+        let next = link_id.len();
+        *link_id.entry((a, b)).or_insert_with(|| {
+            deps.push(Vec::new());
+            next
+        })
+    };
+    for path in paths {
+        for w in path.windows(3) {
+            let l1 = id_of(w[0], w[1], &mut deps);
+            let l2 = id_of(w[1], w[2], &mut deps);
+            deps[l1].push(l2);
+        }
+        if path.len() == 2 {
+            let _ = id_of(path[0], path[1], &mut deps);
+        }
+    }
+    // Cycle check by iterative DFS coloring.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color = vec![Color::White; deps.len()];
+    for start in 0..deps.len() {
+        if color[start] != Color::White {
+            continue;
+        }
+        let mut stack = vec![(start, 0usize)];
+        color[start] = Color::Gray;
+        while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+            if *i < deps[v].len() {
+                let w = deps[v][*i];
+                *i += 1;
+                match color[w] {
+                    Color::White => {
+                        color[w] = Color::Gray;
+                        stack.push((w, 0));
+                    }
+                    Color::Gray => return false,
+                    Color::Black => {}
+                }
+            } else {
+                color[v] = Color::Black;
+                stack.pop();
+            }
+        }
+    }
+    true
+}
+
+/// Computes deterministic routes for every flow.
+///
+/// # Errors
+///
+/// Returns [`RoutingError`] for unmapped cores or disconnected endpoint
+/// pairs.
+pub fn compute_routes(topo: &Topology, app: &CommGraph) -> Result<Routes, RoutingError> {
+    let order = if topo.mesh_dims().is_none() {
+        Some(updown_order(topo))
+    } else {
+        None
+    };
+    let mut paths = Vec::with_capacity(app.flows().len());
+    for (i, f) in app.flows().iter().enumerate() {
+        if f.src >= topo.attachment().len() || f.dst >= topo.attachment().len() {
+            return Err(RoutingError::BadCore { flow: i });
+        }
+        let from = topo.router_of(f.src);
+        let to = topo.router_of(f.dst);
+        let path = if let Some(order) = &order {
+            updown_path(topo, order, from, to)
+                .ok_or(RoutingError::Disconnected { flow: i })?
+        } else {
+            xyz_path(topo, from, to)
+        };
+        paths.push(path);
+    }
+    let deadlock_free = channel_dependencies_acyclic(&paths);
+    let hops: Vec<f64> = paths.iter().map(|p| (p.len() - 1) as f64).collect();
+    let avg_hops = if hops.is_empty() {
+        0.0
+    } else {
+        hops.iter().sum::<f64>() / hops.len() as f64
+    };
+    let total_rate: f64 = app.flows().iter().map(|f| f.rate).sum();
+    let weighted_hops = if total_rate == 0.0 {
+        0.0
+    } else {
+        app.flows()
+            .iter()
+            .zip(&hops)
+            .map(|(f, h)| f.rate * h)
+            .sum::<f64>()
+            / total_rate
+    };
+    Ok(Routes {
+        paths,
+        deadlock_free,
+        avg_hops,
+        weighted_hops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthesis::{synthesize, SynthesisConfig};
+    use rand::SeedableRng;
+
+    #[test]
+    fn xyz_routes_are_minimal_and_deadlock_free() {
+        let topo = Topology::mesh2d(4, 4);
+        let app = CommGraph::uniform(16, 1.0);
+        let routes = compute_routes(&topo, &app).unwrap();
+        assert!(routes.deadlock_free);
+        for (f, p) in app.flows().iter().zip(&routes.paths) {
+            let d = topo
+                .hop_distance(topo.router_of(f.src), topo.router_of(f.dst))
+                .unwrap();
+            assert_eq!(p.len() - 1, d, "XY route not minimal");
+            // Path is a valid walk.
+            for w in p.windows(2) {
+                assert!(topo.neighbors(w[0]).iter().any(|&(n, _)| n == w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn xyz_on_3d_mesh() {
+        let topo = Topology::mesh3d(3, 3, 3);
+        let app = CommGraph::hotspot(27, 1.0);
+        let routes = compute_routes(&topo, &app).unwrap();
+        assert!(routes.deadlock_free);
+        assert!(routes.avg_hops > 0.0);
+    }
+
+    #[test]
+    fn updown_routes_on_synthesized_fabric() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(8);
+        for cores in [8, 16, 24] {
+            let app = CommGraph::random(cores, 0.2, 1.0, &mut rng);
+            let topo = synthesize(&app, &SynthesisConfig::default());
+            let routes = compute_routes(&topo, &app).unwrap();
+            assert!(routes.deadlock_free, "{cores} cores");
+            for (f, p) in app.flows().iter().zip(&routes.paths) {
+                assert_eq!(*p.first().unwrap(), topo.router_of(f.src));
+                assert_eq!(*p.last().unwrap(), topo.router_of(f.dst));
+                for w in p.windows(2) {
+                    assert!(topo.neighbors(w[0]).iter().any(|&(n, _)| n == w[1]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn updown_forbids_valleys() {
+        // Ring of 4: 0-1, 1-2, 2-3, 3-0. BFS order from 0: levels 0,1,2,1.
+        let topo = Topology::irregular(
+            4,
+            vec![
+                crate::topology::Link { a: 0, b: 1, class: crate::topology::LinkClass::Planar },
+                crate::topology::Link { a: 1, b: 2, class: crate::topology::LinkClass::Planar },
+                crate::topology::Link { a: 2, b: 3, class: crate::topology::LinkClass::Planar },
+                crate::topology::Link { a: 3, b: 0, class: crate::topology::LinkClass::Planar },
+            ],
+            vec![0, 1, 2, 3],
+        );
+        let order = updown_order(&topo);
+        // Path 1→3 must not descend into 2 and climb out (valley); legal
+        // route goes up through 0.
+        let p = updown_path(&topo, &order, 1, 3).unwrap();
+        assert_eq!(p, vec![1, 0, 3]);
+    }
+
+    #[test]
+    fn cdg_detects_cyclic_route_set() {
+        // Four routes turning around a 2×2 mesh cycle in the same
+        // direction — the canonical deadlock.
+        let paths = vec![
+            vec![0, 1, 3],
+            vec![1, 3, 2],
+            vec![3, 2, 0],
+            vec![2, 0, 1],
+        ];
+        assert!(!channel_dependencies_acyclic(&paths));
+        // Reversing one route breaks the cycle.
+        let ok_paths = vec![vec![0, 1, 3], vec![1, 3, 2], vec![3, 2, 0]];
+        assert!(channel_dependencies_acyclic(&ok_paths));
+    }
+
+    #[test]
+    fn weighted_hops_accounts_for_rates() {
+        let topo = Topology::mesh2d(3, 1);
+        // Heavy short flow, light long flow.
+        let app = CommGraph::new(
+            3,
+            vec![
+                crate::graph::Flow {
+                    src: 0,
+                    dst: 1,
+                    rate: 9.0,
+                },
+                crate::graph::Flow {
+                    src: 0,
+                    dst: 2,
+                    rate: 1.0,
+                },
+            ],
+        );
+        let routes = compute_routes(&topo, &app).unwrap();
+        assert!((routes.avg_hops - 1.5).abs() < 1e-12);
+        assert!((routes.weighted_hops - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rerouting_survives_link_failures() {
+        use rand::seq::SliceRandom;
+        let mesh = Topology::mesh2d(4, 4);
+        let app = CommGraph::uniform(16, 1.0);
+        let healthy = compute_routes(&mesh, &app).unwrap();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        // Fail 3 random links; the degraded fabric falls back to
+        // up*/down* and must stay deadlock-free (if still connected).
+        for _trial in 0..10 {
+            let picks: Vec<(usize, usize)> = mesh
+                .links()
+                .choose_multiple(&mut rng, 3)
+                .map(|l| (l.a, l.b))
+                .collect();
+            let degraded = mesh.without_links(&picks);
+            if !degraded.is_connected() {
+                continue;
+            }
+            let routes = compute_routes(&degraded, &app).expect("connected fabric routes");
+            assert!(routes.deadlock_free);
+            // Detours cost hops but never lose traffic.
+            assert!(routes.avg_hops >= healthy.avg_hops - 1e-9);
+        }
+    }
+
+    #[test]
+    fn disconnected_reported() {
+        let topo = Topology::irregular(
+            2,
+            vec![],
+            vec![0, 1],
+        );
+        let app = CommGraph::pipeline(2, 1.0);
+        assert_eq!(
+            compute_routes(&topo, &app).unwrap_err(),
+            RoutingError::Disconnected { flow: 0 }
+        );
+    }
+}
+

@@ -1,0 +1,77 @@
+//! Data-collection protocols.
+
+/// How sensed data reaches the sink each round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Protocol {
+    /// Every node transmits straight to the sink — the naive baseline
+    /// ("classical supercomputer approach" of shipping all raw data).
+    Direct,
+    /// Min-hop tree forwarding over links no longer than `radio_range`;
+    /// with `aggregate`, each relay fuses its subtree into one packet.
+    Tree {
+        /// Maximum link length in metres.
+        radio_range: f64,
+        /// In-network aggregation on/off.
+        aggregate: bool,
+    },
+    /// LEACH-style clustering: nodes elect themselves cluster head with
+    /// probability `p` (rotating), members send to the nearest head, heads
+    /// forward (optionally aggregated) to the sink.
+    Cluster {
+        /// Cluster-head probability per round.
+        p: f64,
+        /// In-network aggregation at cluster heads on/off.
+        aggregate: bool,
+    },
+}
+
+impl Protocol {
+    /// Tree protocol with the given radio range.
+    pub fn tree(radio_range: f64, aggregate: bool) -> Protocol {
+        Protocol::Tree {
+            radio_range,
+            aggregate,
+        }
+    }
+
+    /// Clustering protocol with head probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p ≤ 1`.
+    pub fn cluster(p: f64, aggregate: bool) -> Protocol {
+        assert!(p > 0.0 && p <= 1.0, "head probability must be in (0, 1]");
+        Protocol::Cluster { p, aggregate }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            Protocol::Direct => "direct".to_owned(),
+            Protocol::Tree { aggregate, .. } => {
+                format!("tree{}", if *aggregate { "+agg" } else { "" })
+            }
+            Protocol::Cluster { aggregate, .. } => {
+                format!("cluster{}", if *aggregate { "+agg" } else { "" })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Protocol::Direct.label(), "direct");
+        assert_eq!(Protocol::tree(20.0, true).label(), "tree+agg");
+        assert_eq!(Protocol::cluster(0.05, false).label(), "cluster");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_probability_rejected() {
+        let _ = Protocol::cluster(0.0, true);
+    }
+}

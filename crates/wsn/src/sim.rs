@@ -1,0 +1,471 @@
+//! Round-based network-lifetime simulation (experiment E9).
+//!
+//! Each round, every live node senses one packet and the configured
+//! [`Protocol`] carries the data to the sink; radio energies are deducted
+//! per the first-order model and nodes die when their battery empties.
+//! Exogenous failures (slide 36: "providing redundancy to tolerate local
+//! failures") can be injected on top.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::field::Field;
+use crate::harvest::SolarModel;
+use crate::protocol::Protocol;
+use crate::radio::RadioModel;
+
+/// Lifetime-simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LifetimeConfig {
+    /// Initial battery per node (J).
+    pub initial_energy: f64,
+    /// Radio energy model.
+    pub radio: RadioModel,
+    /// Hard round cap.
+    pub max_rounds: u64,
+    /// Per-node, per-round probability of exogenous failure.
+    pub failure_rate: f64,
+    /// Sensing radius for the coverage metric (m).
+    pub sensing_radius: f64,
+    /// RNG seed (failures, cluster-head election).
+    pub seed: u64,
+    /// Optional per-node energy harvesting: `(solar model, panel scale,
+    /// seconds per round)`. Each round every live node gains
+    /// `solar.power(t) · panel_scale · round_seconds` joules
+    /// ("eliminate energy dependence", keynote slide 5).
+    pub harvesting: Option<(SolarModel, f64, f64)>,
+}
+
+impl Default for LifetimeConfig {
+    fn default() -> Self {
+        LifetimeConfig {
+            initial_energy: 0.2,
+            radio: RadioModel::default(),
+            max_rounds: 20_000,
+            failure_rate: 0.0,
+            sensing_radius: 15.0,
+            seed: 1,
+            harvesting: None,
+        }
+    }
+}
+
+/// Outcome of a lifetime simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LifetimeStats {
+    /// Round at which the first node died (energy or failure).
+    pub first_death_round: u64,
+    /// Round at which half the nodes were dead.
+    pub half_death_round: u64,
+    /// Rounds simulated (all dead or cap reached).
+    pub rounds: u64,
+    /// Packets sensed by live nodes over the run.
+    pub sensed: u64,
+    /// Packets (or aggregates representing them) that reached the sink.
+    pub delivered: u64,
+    /// `delivered / sensed`.
+    pub delivered_ratio: f64,
+    /// Time-averaged field coverage.
+    pub avg_coverage: f64,
+    /// Total radio energy spent (J).
+    pub energy_spent: f64,
+}
+
+/// Runs the round-based lifetime simulation.
+pub fn simulate_lifetime(field: &Field, protocol: Protocol, config: &LifetimeConfig) -> LifetimeStats {
+    let n = field.nodes();
+    let mut battery = vec![config.initial_energy; n];
+    let mut failed = vec![false; n];
+    let mut last_head: Vec<i64> = vec![i64::MIN / 2; n];
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+
+    // Cached BFS routing tree for the Tree protocol, rebuilt only when
+    // the live set changes (tree construction is O(live²) distance
+    // checks — the hot spot of long runs).
+    let mut tree_cache: Option<(Vec<usize>, Vec<Option<usize>>, Vec<u64>, Vec<usize>)> = None;
+
+    let mut first_death = None;
+    let mut half_death = None;
+    let mut sensed = 0u64;
+    let mut delivered = 0u64;
+    let mut coverage_acc = 0.0;
+    let mut coverage_samples = 0u64;
+    let mut energy_spent = 0.0;
+    let mut round = 0u64;
+
+    let alive =
+        |battery: &[f64], failed: &[bool], i: usize| battery[i] > 0.0 && !failed[i];
+
+    while round < config.max_rounds {
+        // Exogenous failures.
+        if config.failure_rate > 0.0 {
+            for (i, f) in failed.iter_mut().enumerate() {
+                if !*f && battery[i] > 0.0 && rng.gen_bool(config.failure_rate) {
+                    *f = true;
+                }
+            }
+        }
+        let live: Vec<usize> = (0..n).filter(|&i| alive(&battery, &failed, i)).collect();
+        if live.is_empty() {
+            break;
+        }
+        // Coverage is sampled every 8 rounds — it changes slowly and the
+        // grid scan is the hot spot of long runs.
+        if round.is_multiple_of(8) {
+            let alive_mask: Vec<bool> = (0..n).map(|i| alive(&battery, &failed, i)).collect();
+            coverage_acc += field.coverage(&alive_mask, config.sensing_radius);
+            coverage_samples += 1;
+        }
+        sensed += live.len() as u64;
+
+        // Energy bookkeeping for this round.
+        let mut spend = vec![0.0f64; n];
+        let mut reached = 0u64;
+        match protocol {
+            Protocol::Direct => {
+                for &i in &live {
+                    spend[i] += config.radio.tx(field.to_sink(i));
+                    reached += 1;
+                }
+            }
+            Protocol::Tree {
+                radio_range,
+                aggregate,
+            } => {
+                // BFS tree rooted at the sink over ≤ radio_range links,
+                // reused across rounds until a node dies or fails.
+                let rebuild = match &tree_cache {
+                    Some((cached_live, _, _, _)) => cached_live != &live,
+                    None => true,
+                };
+                if rebuild {
+                    let mut parent: Vec<Option<usize>> = vec![None; n]; // None = unattached
+                    let mut depth: Vec<u64> = vec![u64::MAX; n];
+                    let mut frontier: Vec<usize> = Vec::new();
+                    for &i in &live {
+                        if field.to_sink(i) <= radio_range {
+                            depth[i] = 1;
+                            frontier.push(i);
+                        }
+                    }
+                    let mut order = frontier.clone();
+                    let mut visited: Vec<bool> =
+                        depth.iter().map(|&d| d != u64::MAX).collect();
+                    while !frontier.is_empty() {
+                        let mut next = Vec::new();
+                        for &p in &frontier {
+                            for &c in &live {
+                                if !visited[c]
+                                    && field.position(c).distance(field.position(p))
+                                        <= radio_range
+                                {
+                                    visited[c] = true;
+                                    depth[c] = depth[p] + 1;
+                                    parent[c] = Some(p);
+                                    next.push(c);
+                                }
+                            }
+                        }
+                        order.extend(&next);
+                        frontier = next;
+                    }
+                    tree_cache = Some((live.clone(), parent, depth, order));
+                }
+                let (_, parent, depth, order) =
+                    tree_cache.as_ref().expect("tree cache just (re)built");
+                // Leaf-to-root accumulation: process deepest first.
+                let mut carrying: Vec<u64> = vec![0; n];
+                for &i in &live {
+                    if depth[i] != u64::MAX {
+                        carrying[i] += 1; // own sample
+                    }
+                    // Unattached nodes sense but cannot deliver.
+                }
+                let mut by_depth = order.clone();
+                by_depth.sort_by_key(|&i| std::cmp::Reverse(depth[i]));
+                let order_len = order.len();
+                for &i in &by_depth {
+                    let packets = if aggregate { 1 } else { carrying[i] };
+                    if packets == 0 {
+                        continue;
+                    }
+                    match parent[i] {
+                        Some(p) => {
+                            let d = field.position(i).distance(field.position(p));
+                            spend[i] += config.radio.tx(d) * packets as f64;
+                            spend[p] += config.radio.rx() * packets as f64;
+                            if aggregate {
+                                spend[p] += config.radio.aggregate() * packets as f64;
+                            }
+                            if !aggregate {
+                                carrying[p] += carrying[i];
+                            }
+                        }
+                        None => {
+                            // Directly attached to the sink. (With
+                            // aggregation, `reached` is recomputed below
+                            // as the attached-node count.)
+                            spend[i] += config.radio.tx(field.to_sink(i)) * packets as f64;
+                            reached += carrying[i];
+                        }
+                    }
+                }
+                if aggregate {
+                    // With aggregation each attached node's sample is
+                    // represented in some root aggregate.
+                    reached = order_len as u64;
+                }
+            }
+            Protocol::Cluster { p, aggregate } => {
+                let period = (1.0 / p).ceil() as i64;
+                let mut heads: Vec<usize> = Vec::new();
+                for &i in &live {
+                    let eligible = round as i64 - last_head[i] >= period;
+                    if eligible && rng.gen_bool(p) {
+                        heads.push(i);
+                        last_head[i] = round as i64;
+                    }
+                }
+                if heads.is_empty() {
+                    // Fall back: nearest node to the sink becomes head.
+                    let i = *live
+                        .iter()
+                        .min_by(|&&a, &&b| {
+                            field
+                                .to_sink(a)
+                                .partial_cmp(&field.to_sink(b))
+                                .expect("finite distances")
+                        })
+                        .expect("live nodes exist");
+                    heads.push(i);
+                    last_head[i] = round as i64;
+                }
+                // Members join the nearest head.
+                let mut members: Vec<u64> = vec![0; n];
+                for &i in &live {
+                    if heads.contains(&i) {
+                        continue;
+                    }
+                    let h = *heads
+                        .iter()
+                        .min_by(|&&a, &&b| {
+                            field
+                                .position(i)
+                                .distance(field.position(a))
+                                .partial_cmp(&field.position(i).distance(field.position(b)))
+                                .expect("finite distances")
+                        })
+                        .expect("at least one head");
+                    let d = field.position(i).distance(field.position(h));
+                    spend[i] += config.radio.tx(d);
+                    spend[h] += config.radio.rx();
+                    members[h] += 1;
+                }
+                for &h in &heads {
+                    let cluster_packets = members[h] + 1;
+                    if aggregate {
+                        spend[h] += config.radio.aggregate() * members[h] as f64;
+                        spend[h] += config.radio.tx(field.to_sink(h));
+                        reached += cluster_packets;
+                    } else {
+                        spend[h] += config.radio.tx(field.to_sink(h)) * cluster_packets as f64;
+                        reached += cluster_packets;
+                    }
+                }
+            }
+        }
+
+        delivered += reached;
+        // Harvest income before paying the radio bill.
+        if let Some((solar, panel_scale, round_seconds)) = config.harvesting {
+            let t = round as f64 * round_seconds;
+            let income = solar.power(t, config.seed) * panel_scale * round_seconds;
+            for (i, b) in battery.iter_mut().enumerate() {
+                if *b > 0.0 && !failed[i] {
+                    *b = (*b + income).min(config.initial_energy);
+                }
+            }
+        }
+        for i in 0..n {
+            if spend[i] > 0.0 {
+                energy_spent += spend[i];
+                battery[i] -= spend[i];
+            }
+        }
+
+        round += 1;
+        let dead = (0..n).filter(|&i| !alive(&battery, &failed, i)).count();
+        if dead > 0 && first_death.is_none() {
+            first_death = Some(round);
+        }
+        if dead * 2 >= n && half_death.is_none() {
+            half_death = Some(round);
+        }
+        if dead == n {
+            break;
+        }
+    }
+
+    LifetimeStats {
+        first_death_round: first_death.unwrap_or(round),
+        half_death_round: half_death.unwrap_or(round),
+        rounds: round,
+        sensed,
+        delivered,
+        delivered_ratio: if sensed == 0 {
+            0.0
+        } else {
+            delivered as f64 / sensed as f64
+        },
+        avg_coverage: if coverage_samples == 0 {
+            0.0
+        } else {
+            coverage_acc / coverage_samples as f64
+        },
+        energy_spent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_field() -> Field {
+        Field::random(40, 120.0, 3)
+    }
+
+    #[test]
+    fn direct_eventually_kills_far_nodes_first() {
+        let f = small_field();
+        let cfg = LifetimeConfig {
+            max_rounds: 50_000,
+            ..LifetimeConfig::default()
+        };
+        let stats = simulate_lifetime(&f, Protocol::Direct, &cfg);
+        assert!(stats.first_death_round > 0);
+        assert!(stats.first_death_round < cfg.max_rounds);
+        assert!(stats.delivered_ratio > 0.99);
+    }
+
+    #[test]
+    fn aggregation_extends_lifetime() {
+        let f = small_field();
+        let cfg = LifetimeConfig::default();
+        let raw = simulate_lifetime(&f, Protocol::cluster(0.05, false), &cfg);
+        let agg = simulate_lifetime(&f, Protocol::cluster(0.05, true), &cfg);
+        assert!(
+            agg.half_death_round > raw.half_death_round,
+            "agg {} raw {}",
+            agg.half_death_round,
+            raw.half_death_round
+        );
+    }
+
+    #[test]
+    fn clustering_delays_first_death_versus_direct() {
+        let f = small_field();
+        let cfg = LifetimeConfig::default();
+        let direct = simulate_lifetime(&f, Protocol::Direct, &cfg);
+        let cluster = simulate_lifetime(&f, Protocol::cluster(0.15, true), &cfg);
+        assert!(
+            cluster.first_death_round > direct.first_death_round,
+            "cluster {} direct {}",
+            cluster.first_death_round,
+            direct.first_death_round
+        );
+    }
+
+    #[test]
+    fn tree_delivers_attached_nodes() {
+        let f = small_field();
+        let cfg = LifetimeConfig {
+            max_rounds: 50,
+            ..LifetimeConfig::default()
+        };
+        let stats = simulate_lifetime(&f, Protocol::tree(45.0, true), &cfg);
+        assert!(stats.delivered_ratio > 0.5, "ratio {}", stats.delivered_ratio);
+    }
+
+    #[test]
+    fn failures_shorten_first_death_and_reduce_coverage() {
+        let f = small_field();
+        let base = LifetimeConfig {
+            max_rounds: 2_000,
+            ..LifetimeConfig::default()
+        };
+        let with_failures = LifetimeConfig {
+            failure_rate: 0.002,
+            ..base
+        };
+        let healthy = simulate_lifetime(&f, Protocol::cluster(0.05, true), &base);
+        let failing = simulate_lifetime(&f, Protocol::cluster(0.05, true), &with_failures);
+        assert!(failing.first_death_round <= healthy.first_death_round);
+        assert!(failing.avg_coverage <= healthy.avg_coverage + 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let f = small_field();
+        let cfg = LifetimeConfig {
+            max_rounds: 500,
+            ..LifetimeConfig::default()
+        };
+        let a = simulate_lifetime(&f, Protocol::cluster(0.1, true), &cfg);
+        let b = simulate_lifetime(&f, Protocol::cluster(0.1, true), &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn harvesting_extends_or_sustains_the_network() {
+        let f = small_field();
+        let base = LifetimeConfig {
+            max_rounds: 3_000,
+            ..LifetimeConfig::default()
+        };
+        let dead_end = simulate_lifetime(&f, Protocol::cluster(0.15, true), &base);
+        let harvesting = LifetimeConfig {
+            harvesting: Some((SolarModel::default(), 0.02, 60.0)),
+            ..base
+        };
+        let sustained = simulate_lifetime(&f, Protocol::cluster(0.15, true), &harvesting);
+        assert!(
+            sustained.first_death_round > dead_end.first_death_round,
+            "harvesting {} vs battery-only {}",
+            sustained.first_death_round,
+            dead_end.first_death_round
+        );
+    }
+
+    #[test]
+    fn strong_harvesting_makes_the_network_immortal() {
+        let f = small_field();
+        let cfg = LifetimeConfig {
+            max_rounds: 2_000,
+            harvesting: Some((
+                SolarModel {
+                    cloudiness: 0.0,
+                    ..SolarModel::default()
+                },
+                1.0,
+                600.0,
+            )),
+            ..LifetimeConfig::default()
+        };
+        let stats = simulate_lifetime(&f, Protocol::cluster(0.15, true), &cfg);
+        assert_eq!(
+            stats.first_death_round, cfg.max_rounds,
+            "no node should die with abundant harvest"
+        );
+    }
+
+    #[test]
+    fn coverage_declines_over_lifetime() {
+        let f = small_field();
+        let cfg = LifetimeConfig::default();
+        let stats = simulate_lifetime(&f, Protocol::Direct, &cfg);
+        // Average coverage across the run is below the initial coverage.
+        let initial = f.coverage(&vec![true; f.nodes()], cfg.sensing_radius);
+        assert!(stats.avg_coverage <= initial + 1e-9);
+    }
+}

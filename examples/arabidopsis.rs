@@ -1,0 +1,59 @@
+//! The slide-33 story: *Arabidopsis thaliana* flower-organ fates and the
+//! AP3 knock-out (petals → sepals, stamens → carpels).
+//!
+//! ```sh
+//! cargo run --example arabidopsis
+//! ```
+
+use micronano::core::report::Table;
+use micronano::grn::models::{arabidopsis, organ_repertoire, FloralInputs};
+use micronano::grn::Perturbation;
+
+fn repertoire_of(
+    inputs: FloralInputs,
+    knockout: Option<&str>,
+) -> Result<String, Box<dyn std::error::Error>> {
+    let mut net = arabidopsis(inputs);
+    if let Some(gene) = knockout {
+        net = net.with_perturbation(&Perturbation::knock_out(gene))?;
+    }
+    let organs = organ_repertoire(&net)?;
+    Ok(organs
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(", "))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Arabidopsis flower-organ network (ABC logic, 15 genes)\n");
+
+    let whorl_names = ["whorl 1", "whorl 2", "whorl 3", "whorl 4"];
+    let whorls = FloralInputs::whorls();
+
+    let mut t = Table::new(
+        "flower",
+        "fixed-point organ repertoire per whorl",
+        &["whorl", "wild type", "ap3 knock-out", "ag knock-out", "lfy knock-out"],
+    );
+    for (name, w) in whorl_names.iter().zip(whorls) {
+        t.row_owned(vec![
+            (*name).to_owned(),
+            repertoire_of(w, None)?,
+            repertoire_of(w, Some("AP3"))?,
+            repertoire_of(w, Some("AG"))?,
+            repertoire_of(w, Some("LFY"))?,
+        ]);
+    }
+    println!("{t}");
+
+    println!(
+        "vegetative scenario (no FT signal): {}",
+        repertoire_of(FloralInputs::vegetative(), None)?
+    );
+    println!(
+        "\nreading: the ap3 mutant loses petal and stamen identities exactly\n\
+         as on keynote slide 33 — whorl 2 reverts to sepal, whorl 3 to carpel."
+    );
+    Ok(())
+}

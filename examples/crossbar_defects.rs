@@ -1,0 +1,58 @@
+//! Beyond-CMOS computation (keynote slides 8–9): mapping logic onto a
+//! defective nanowire crossbar.
+//!
+//! ```sh
+//! cargo run --release --example crossbar_defects
+//! ```
+
+use micronano::core::report::{fmt_f64, Table};
+use micronano::crossbar::array::CrossbarArray;
+use micronano::crossbar::logic::LogicFunction;
+use micronano::crossbar::mapping::{map_function, mapping_yield};
+
+fn main() {
+    println!("nano-crossbar design: living with defective junctions\n");
+
+    // One concrete fabric instance and function.
+    let fabric = CrossbarArray::with_defects(18, 12, 0.08, 0.5, 42);
+    let f = LogicFunction::random(12, 12, 4, 7);
+    println!(
+        "fabric: 18×12 junctions, {} defective ({:.1}%), {} pristine rows",
+        fabric.defect_count(),
+        fabric.defect_rate() * 100.0,
+        fabric.pristine_rows()
+    );
+    match map_function(&fabric, &f) {
+        Some(m) => {
+            println!(
+                "mapped all {} product terms; term→row assignment: {:?}\n",
+                f.terms().len(),
+                m.row_of_term
+            );
+            assert!(m.verify(&fabric, &f));
+        }
+        None => println!("this instance cannot host the function\n"),
+    }
+
+    // The yield picture.
+    let mut t = Table::new(
+        "yield",
+        "mapping yield % (16 inputs, 12 terms, 400 instances per cell)",
+        &["defect rate", "×1.0 rows", "×1.5", "×2.0", "×3.0"],
+    );
+    for &rate in &[0.0f64, 0.05, 0.1, 0.2, 0.3] {
+        let mut row = vec![fmt_f64(rate)];
+        for &redundancy in &[1.0f64, 1.5, 2.0, 3.0] {
+            row.push(fmt_f64(
+                mapping_yield(16, 12, 4, redundancy, rate, 400, 42) * 100.0,
+            ));
+        }
+        t.row_owned(row);
+    }
+    println!("{t}");
+    println!(
+        "reading: per-instance matching turns a fabric that is useless at\n\
+         10% defects into one that yields ~100% — \"how do we design with\n\
+         these technologies\" (slide 8), answered with redundancy plus EDA."
+    );
+}

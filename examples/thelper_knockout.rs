@@ -1,0 +1,90 @@
+//! The slide-31 story: T-helper cell differentiation as a logic circuit,
+//! with knock-outs as stuck-at-0 faults.
+//!
+//! ```sh
+//! cargo run --example thelper_knockout
+//! ```
+
+use micronano::core::report::Table;
+use micronano::grn::models::{t_helper, t_helper_with_inputs, th_fates, ThFate, ThInputs};
+use micronano::grn::screen::{single_gene_screen, ScreenKind};
+use micronano::grn::Perturbation;
+
+fn fate_summary(fates: &[(micronano::grn::State, ThFate)]) -> String {
+    let mut names: Vec<String> = fates.iter().map(|&(_, f)| f.to_string()).collect();
+    names.sort();
+    names.join(", ")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("T-helper differentiation network (Mendoza & Xenarios 2006)\n");
+
+    let wild = t_helper();
+    let wt_fates = th_fates(&wild)?;
+
+    let mut t = Table::new(
+        "Th",
+        "stable fates under perturbation (unstimulated inputs)",
+        &["condition", "stable states", "fates"],
+    );
+    t.row_owned(vec![
+        "wild type".into(),
+        wt_fates.len().to_string(),
+        fate_summary(&wt_fates),
+    ]);
+
+    for gene in ["GATA3", "Tbet", "STAT6", "STAT1", "IFNg", "IL4"] {
+        let ko = wild.with_perturbation(&Perturbation::knock_out(gene))?;
+        let fates = th_fates(&ko)?;
+        t.row_owned(vec![
+            format!("{gene} knock-out (stuck-at-0)"),
+            fates.len().to_string(),
+            fate_summary(&fates),
+        ]);
+    }
+    let oe = wild.with_perturbation(&Perturbation::over_express("Tbet"))?;
+    let fates = th_fates(&oe)?;
+    t.row_owned(vec![
+        "Tbet over-expression (stuck-at-1)".into(),
+        fates.len().to_string(),
+        fate_summary(&fates),
+    ]);
+    println!("{t}");
+
+    // Show the detailed Th1 signature.
+    let (th1_state, _) = wt_fates
+        .iter()
+        .find(|&&(_, f)| f == ThFate::Th1)
+        .expect("wild type reaches Th1");
+    println!(
+        "Th1 expression signature: {}\n",
+        wild.describe_state(*th1_state)
+    );
+
+    // Whole-network knock-out screen: which of the 23 genes are
+    // phenotypic (change the steady-state landscape) at all?
+    let screen = single_gene_screen(&wild, ScreenKind::KnockOuts)?;
+    let phenotypic: Vec<&str> = screen
+        .phenotypic()
+        .map(|e| e.perturbation.gene())
+        .collect();
+    println!(
+        "knock-out screen: {} of {} genes are phenotypic: {}\n",
+        phenotypic.len(),
+        wild.len(),
+        phenotypic.join(", ")
+    );
+
+    // Stimulation scenario: IL-12 present.
+    let stimulated = t_helper_with_inputs(ThInputs {
+        il12: true,
+        ..ThInputs::default()
+    });
+    let fates = th_fates(&stimulated)?;
+    println!(
+        "with IL-12 stimulation: {} stable states ({})",
+        fates.len(),
+        fate_summary(&fates)
+    );
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Property-based tests of the assay compiler on randomly generated
+//! protocol DAGs: whatever the dependency structure, the compiled
+//! schedule must respect it, routes must fit their windows, and the flow
+//! must fail cleanly rather than panic.
+
+use micronano::fluidics::assay::{concentrations, OpKind};
+use micronano::fluidics::compiler::{compile, CompilerConfig};
+use micronano::fluidics::constraints::verify_routes_exempting_merges;
+use micronano::fluidics::workload::random_assay;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn compiled_random_assays_are_consistent(
+        seed in 0u64..50_000,
+        mixes in 1usize..6,
+    ) {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let assay = random_assay(mixes, &mut rng);
+        let cfg = CompilerConfig {
+            grid_width: 20,
+            grid_height: 20,
+            ..CompilerConfig::default()
+        };
+        let Ok(compiled) = compile(&assay, &cfg) else {
+            // Failing cleanly (congestion) is acceptable; panicking is not.
+            return Ok(());
+        };
+        // Dependencies respected with the transport latency the schedule
+        // was built with.
+        for op in assay.operations() {
+            let e = compiled.schedule.entry(op.id);
+            for &p in &op.inputs {
+                let pe = compiled.schedule.entry(p);
+                prop_assert!(e.start >= pe.end, "{} starts before {} ends", op.id, p);
+            }
+        }
+        // Routes arrive before their consumer starts and verify safe.
+        let mut idx = 0;
+        for op in assay.operations() {
+            for _ in &op.inputs {
+                let r = &compiled.routes[idx];
+                prop_assert!(r.arrival() <= compiled.schedule.entry(op.id).start);
+                idx += 1;
+            }
+        }
+        let partners = |i: usize, j: usize| compiled.edges[i].1 == compiled.edges[j].1;
+        prop_assert!(verify_routes_exempting_merges(&compiled.routes, &partners).is_empty());
+        // The actuation program covers the whole schedule.
+        prop_assert!(compiled.program.len() as u32 >= compiled.stats.makespan);
+    }
+
+    #[test]
+    fn concentrations_are_convex_combinations(
+        seed in 0u64..50_000,
+        mixes in 1usize..8,
+    ) {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let assay = random_assay(mixes, &mut rng);
+        let conc = concentrations(&assay);
+        for op in assay.operations() {
+            let c = conc[op.id.0 as usize];
+            prop_assert!((0.0..=1.0).contains(&c));
+            if matches!(op.kind, OpKind::Mix | OpKind::Dilute) {
+                let a = conc[op.inputs[0].0 as usize];
+                let b = conc[op.inputs[1].0 as usize];
+                prop_assert!(c >= a.min(b) - 1e-12 && c <= a.max(b) + 1e-12);
+            }
+        }
+    }
+}

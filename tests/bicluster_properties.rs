@@ -1,0 +1,132 @@
+//! Property-based tests of the interpretation stack: the ZDD miner is
+//! complete (matches brute force) on arbitrary small relations, and its
+//! ZDD bookkeeping is always consistent.
+
+use micronano::bicluster::discretize::BinaryMatrix;
+use micronano::bicluster::score::{cell_jaccard, score};
+use micronano::bicluster::zdd_miner::{enumerate_maximal, MinerConfig};
+use micronano::bicluster::Bicluster;
+use micronano::biosensor::GroundTruthBicluster;
+use proptest::prelude::*;
+
+fn brute_force(b: &BinaryMatrix, cfg: &MinerConfig) -> Vec<(Vec<usize>, Vec<usize>)> {
+    let n = b.cols();
+    let mut out = std::collections::BTreeSet::new();
+    for mask in 1u32..(1 << n) {
+        let cols: Vec<usize> = (0..n).filter(|&c| mask >> c & 1 == 1).collect();
+        let rows: Vec<usize> = (0..b.rows())
+            .filter(|&r| cols.iter().all(|&c| b.get(r, c)))
+            .collect();
+        if rows.len() < cfg.min_rows {
+            continue;
+        }
+        let closed: Vec<usize> = (0..n)
+            .filter(|&c| rows.iter().all(|&r| b.get(r, c)))
+            .collect();
+        if closed.len() < cfg.min_cols {
+            continue;
+        }
+        out.insert((rows, closed));
+    }
+    out.into_iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn miner_is_complete_on_random_relations(
+        bits in proptest::collection::vec(any::<bool>(), 12..72),
+        cols in 3usize..8,
+        min_rows in 1usize..3,
+        min_cols in 1usize..3,
+    ) {
+        let rows = (bits.len() / cols).max(1);
+        let mut b = BinaryMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                b.set(r, c, bits[r * cols + c]);
+            }
+        }
+        let cfg = MinerConfig { min_rows, min_cols, ..MinerConfig::default() };
+        let mined = enumerate_maximal(&b, &cfg);
+        prop_assert!(!mined.truncated);
+        let got: std::collections::BTreeSet<_> = mined
+            .biclusters
+            .iter()
+            .map(|x| (x.rows.clone(), x.cols.clone()))
+            .collect();
+        let want: std::collections::BTreeSet<_> = brute_force(&b, &cfg).into_iter().collect();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(mined.family_count as usize, mined.biclusters.len());
+    }
+
+    #[test]
+    fn mined_biclusters_are_full_and_maximal(
+        bits in proptest::collection::vec(any::<bool>(), 20..60),
+    ) {
+        let cols = 5;
+        let rows = bits.len() / cols;
+        let mut b = BinaryMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                b.set(r, c, bits[r * cols + c]);
+            }
+        }
+        let cfg = MinerConfig { min_rows: 1, min_cols: 1, ..MinerConfig::default() };
+        let mined = enumerate_maximal(&b, &cfg);
+        for x in &mined.biclusters {
+            // All-ones.
+            for &r in &x.rows {
+                for &c in &x.cols {
+                    prop_assert!(b.get(r, c));
+                }
+            }
+            // Row-maximal: no extra row has all the columns.
+            for r in 0..rows {
+                if !x.rows.contains(&r) {
+                    prop_assert!(!x.cols.iter().all(|&c| b.get(r, c)));
+                }
+            }
+            // Column-maximal: no extra column covers all rows.
+            for c in 0..cols {
+                if !x.cols.contains(&c) {
+                    prop_assert!(!x.rows.iter().all(|&r| b.get(r, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jaccard_is_a_similarity(
+        r1 in proptest::collection::btree_set(0usize..12, 1..6),
+        c1 in proptest::collection::btree_set(0usize..12, 1..6),
+        r2 in proptest::collection::btree_set(0usize..12, 1..6),
+        c2 in proptest::collection::btree_set(0usize..12, 1..6),
+    ) {
+        let a = Bicluster::new(r1.iter().copied().collect(), c1.iter().copied().collect());
+        let b = Bicluster::new(r2.iter().copied().collect(), c2.iter().copied().collect());
+        let jab = cell_jaccard(&a, &b);
+        let jba = cell_jaccard(&b, &a);
+        prop_assert!((jab - jba).abs() < 1e-12, "symmetry");
+        prop_assert!((0.0..=1.0).contains(&jab));
+        prop_assert_eq!(cell_jaccard(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn scores_bounded_and_perfect_on_identity(
+        rows in proptest::collection::btree_set(0usize..20, 2..6),
+        cols in proptest::collection::btree_set(0usize..20, 2..6),
+    ) {
+        let truth = vec![GroundTruthBicluster {
+            rows: rows.iter().copied().collect(),
+            cols: cols.iter().copied().collect(),
+        }];
+        let found = vec![Bicluster::new(
+            rows.iter().copied().collect(),
+            cols.iter().copied().collect(),
+        )];
+        let s = score(&truth, &found);
+        prop_assert_eq!(s.f1, 1.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests of defect-tolerant crossbar mapping.
+
+use micronano::crossbar::array::CrossbarArray;
+use micronano::crossbar::logic::LogicFunction;
+use micronano::crossbar::mapping::{map_function, mapping_yield};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn successful_mappings_always_verify(
+        seed in 0u64..100_000,
+        defect_rate in 0.0f64..0.3,
+        terms in 2usize..10,
+    ) {
+        let rows = terms * 2;
+        let fabric = CrossbarArray::with_defects(rows, 12, defect_rate, 0.5, seed);
+        let f = LogicFunction::random(12, terms, 3, seed ^ 1);
+        if let Some(m) = map_function(&fabric, &f) {
+            prop_assert!(m.verify(&fabric, &f));
+            // Rows are distinct.
+            let mut rows_used = m.row_of_term.clone();
+            rows_used.sort_unstable();
+            rows_used.dedup();
+            prop_assert_eq!(rows_used.len(), f.terms().len());
+        }
+    }
+
+    #[test]
+    fn perfect_fabric_with_enough_rows_always_maps(
+        seed in 0u64..100_000,
+        terms in 1usize..12,
+    ) {
+        let fabric = CrossbarArray::perfect(terms, 12);
+        let f = LogicFunction::random(12, terms, 4, seed);
+        prop_assert!(map_function(&fabric, &f).is_some());
+    }
+
+    #[test]
+    fn adding_rows_never_hurts(
+        seed in 0u64..10_000,
+        defect_rate in 0.0f64..0.25,
+    ) {
+        // If a function maps onto a fabric, it also maps onto the same
+        // fabric extended with extra (possibly defective) rows: the old
+        // matching is still valid.
+        let small = CrossbarArray::with_defects(8, 10, defect_rate, 0.5, seed);
+        let f = LogicFunction::random(10, 6, 3, seed ^ 2);
+        if map_function(&small, &f).is_some() {
+            // Rebuild a larger fabric whose first 8 rows match `small`.
+            let mut big = CrossbarArray::perfect(12, 10);
+            for r in 0..8 {
+                for c in 0..10 {
+                    if let Some(kind) = small.defect_at(r, c) {
+                        big.inject(r, c, kind);
+                    }
+                }
+            }
+            prop_assert!(map_function(&big, &f).is_some());
+        }
+    }
+}
+
+#[test]
+fn yield_monotone_in_redundancy() {
+    let mut last = 0.0;
+    for &redundancy in &[1.0f64, 1.5, 2.0, 3.0] {
+        let y = mapping_yield(12, 8, 3, redundancy, 0.12, 300, 21);
+        assert!(
+            y + 0.05 >= last,
+            "yield should not collapse as redundancy grows: {last} → {y}"
+        );
+        last = y;
+    }
+    assert!(last > 0.9, "3× redundancy at 12% defects should be healthy");
+}

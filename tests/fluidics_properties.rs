@@ -1,0 +1,111 @@
+//! Property-based tests of droplet routing: whatever instance the
+//! generator produces, concurrent routes must be fluidically safe and
+//! never slower than the serial baseline by construction of the metric.
+
+use micronano::fluidics::constraints::verify_routes;
+use micronano::fluidics::workload::{random_routing_instance, RoutingWorkload};
+use micronano::fluidics::{route_concurrent, route_serial, RoutingConfig};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn concurrent_routes_are_always_safe(
+        seed in 0u64..100_000,
+        side in 12i32..24,
+        droplets in 2usize..7,
+    ) {
+        let w = RoutingWorkload { grid_side: side, droplets };
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let (grid, requests) = random_routing_instance(&w, &mut rng);
+        let out = route_concurrent(&grid, &requests, &RoutingConfig::default())
+            .expect("instance generator produces routable instances");
+        let violations = verify_routes(&out.routes);
+        prop_assert!(violations.is_empty(), "violations: {violations:?}");
+        // Makespan is bounded below by the longest Manhattan trip.
+        let lower = requests
+            .iter()
+            .map(|r| r.start.manhattan(r.goal) as u32)
+            .max()
+            .expect("non-empty");
+        prop_assert!(out.makespan >= lower);
+    }
+
+    #[test]
+    fn concurrent_beats_or_matches_serial(
+        seed in 0u64..100_000,
+        droplets in 2usize..6,
+    ) {
+        let w = RoutingWorkload { grid_side: 16, droplets };
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let (grid, requests) = random_routing_instance(&w, &mut rng);
+        let cfg = RoutingConfig::default();
+        let conc = route_concurrent(&grid, &requests, &cfg).expect("routable");
+        let serial = route_serial(&grid, &requests, &cfg).expect("routable");
+        prop_assert!(
+            conc.makespan <= serial.makespan,
+            "concurrent {} > serial {}",
+            conc.makespan,
+            serial.makespan
+        );
+        prop_assert!(verify_routes(&serial.routes).is_empty(), "serial routes unsafe");
+    }
+
+    #[test]
+    fn routes_start_and_end_where_requested(
+        seed in 0u64..100_000,
+        droplets in 2usize..6,
+    ) {
+        let w = RoutingWorkload { grid_side: 18, droplets };
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let (grid, requests) = random_routing_instance(&w, &mut rng);
+        let out = route_concurrent(&grid, &requests, &RoutingConfig::default())
+            .expect("routable");
+        for (req, route) in requests.iter().zip(&out.routes) {
+            prop_assert_eq!(*route.path.first().expect("non-empty"), req.start);
+            prop_assert_eq!(*route.path.last().expect("non-empty"), req.goal);
+            // Paths move at most one cell per tick.
+            for w in route.path.windows(2) {
+                prop_assert!(w[0].manhattan(w[1]) <= 1);
+                prop_assert!(grid.contains(w[1]));
+            }
+        }
+    }
+}
+
+#[test]
+fn lookahead_ablation_orders_safety() {
+    // lookahead 1 and 2 must always verify clean; lookahead 0 may violate
+    // only the dynamic rule, never the static one.
+    let w = RoutingWorkload {
+        grid_side: 14,
+        droplets: 5,
+    };
+    for seed in 0..30u64 {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let (grid, requests) = random_routing_instance(&w, &mut rng);
+        for lookahead in [0u32, 1, 2] {
+            let cfg = RoutingConfig {
+                lookahead,
+                ..RoutingConfig::default()
+            };
+            let Ok(out) = route_concurrent(&grid, &requests, &cfg) else {
+                continue;
+            };
+            let violations = verify_routes(&out.routes);
+            if lookahead >= 1 {
+                assert!(
+                    violations.is_empty(),
+                    "seed {seed} lookahead {lookahead}: {violations:?}"
+                );
+            } else {
+                assert!(
+                    violations.iter().all(|v| !v.static_rule),
+                    "seed {seed}: static violation at lookahead 0"
+                );
+            }
+        }
+    }
+}

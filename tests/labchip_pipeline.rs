@@ -1,0 +1,69 @@
+//! Integration tests of the end-to-end lab-on-chip pipeline across the
+//! fluidics → biosensor → bicluster crate boundary.
+
+use micronano::core::labchip::{LabChipPipeline, PipelineConfig};
+
+#[test]
+fn pipeline_recovers_truth_across_seeds() {
+    let pipeline = LabChipPipeline::new(PipelineConfig::default());
+    for seed in [1u64, 7, 42, 1234] {
+        let report = pipeline.run(seed).expect("pipeline runs");
+        assert!(
+            report.interpretation.recovery > 0.6,
+            "seed {seed}: recovery {}",
+            report.interpretation.recovery
+        );
+        assert!((0.0..=1.0).contains(&report.interpretation.recovery));
+        assert!((0.0..=1.0).contains(&report.interpretation.relevance));
+        assert!((0.0..=1.0).contains(&report.interpretation.f1));
+        assert!(report.routing.makespan > 0);
+        assert_eq!(
+            report.mining.family_count as usize,
+            report.mining.biclusters.len(),
+            "ZDD family must agree with the enumeration"
+        );
+    }
+}
+
+#[test]
+fn near_ideal_sensor_gives_near_perfect_interpretation() {
+    let mut cfg = PipelineConfig::default();
+    cfg.sensor.read_noise = 1e-6;
+    cfg.sensor.shot_coeff = 0.0;
+    cfg.sensor.adc_bits = 20;
+    cfg.sensor.integration_time = 1e6;
+    let report = LabChipPipeline::new(cfg).run(3).expect("pipeline runs");
+    assert!(
+        report.sensing_error < 0.2,
+        "sensing error {}",
+        report.sensing_error
+    );
+    assert!(
+        report.interpretation.recovery > 0.9,
+        "recovery {}",
+        report.interpretation.recovery
+    );
+}
+
+#[test]
+fn bigger_panels_compile_on_bigger_chips() {
+    let mut cfg = PipelineConfig {
+        samples_per_run: 6,
+        ..PipelineConfig::default()
+    };
+    cfg.chip.grid_width = 24;
+    cfg.chip.grid_height = 24;
+    let report = LabChipPipeline::new(cfg).run(11).expect("pipeline runs");
+    assert!(report.routing.makespan > 0);
+}
+
+#[test]
+fn sensing_error_scales_with_noise_knobs() {
+    let base = PipelineConfig::default();
+    let mut noisy = PipelineConfig::default();
+    noisy.sensor.read_noise = 0.1;
+    noisy.sensor.sites_per_probe = 1;
+    let clean_err = LabChipPipeline::new(base).run(2).unwrap().sensing_error;
+    let noisy_err = LabChipPipeline::new(noisy).run(2).unwrap().sensing_error;
+    assert!(noisy_err > clean_err);
+}

@@ -1,0 +1,120 @@
+//! Property-based tests of the NoC flow: synthesis always yields a
+//! connected, degree-bounded fabric; routing is always certified
+//! deadlock-free; simulation conserves packets.
+
+use micronano::noc::graph::CommGraph;
+use micronano::noc::power::PowerModel;
+use micronano::noc::routing::compute_routes;
+use micronano::noc::sim::{simulate, SimConfig};
+use micronano::noc::synthesis::{synthesize, Strategy, SynthesisConfig};
+use micronano::noc::topology::Topology;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn synthesis_yields_connected_certified_fabrics(
+        seed in 0u64..100_000,
+        cores in 4usize..28,
+        density in 0.05f64..0.5,
+        max_cluster in 2usize..6,
+    ) {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let app = CommGraph::random(cores, density, 1.0, &mut rng);
+        for strategy in [Strategy::MinCut, Strategy::GreedyMerge] {
+            let topo = synthesize(
+                &app,
+                &SynthesisConfig { max_cluster, strategy, ..SynthesisConfig::default() },
+            );
+            prop_assert!(topo.is_connected());
+            prop_assert_eq!(topo.attachment().len(), cores);
+            let routes = compute_routes(&topo, &app).expect("routable");
+            prop_assert!(routes.deadlock_free, "{strategy:?} produced a cyclic CDG");
+            // Routes are valid walks covering the endpoints.
+            for (f, p) in app.flows().iter().zip(&routes.paths) {
+                prop_assert_eq!(p[0], topo.router_of(f.src));
+                prop_assert_eq!(*p.last().expect("non-empty"), topo.router_of(f.dst));
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_routes_are_minimal(
+        w in 2usize..6,
+        h in 2usize..6,
+    ) {
+        let topo = Topology::mesh2d(w, h);
+        let app = CommGraph::uniform(w * h, 1.0);
+        let routes = compute_routes(&topo, &app).expect("mesh routes");
+        prop_assert!(routes.deadlock_free);
+        for (f, p) in app.flows().iter().zip(&routes.paths) {
+            let d = topo
+                .hop_distance(topo.router_of(f.src), topo.router_of(f.dst))
+                .expect("connected");
+            prop_assert_eq!(p.len() - 1, d);
+        }
+    }
+
+    #[test]
+    fn energy_proxy_is_positive_and_additive(
+        seed in 0u64..100_000,
+        cores in 4usize..16,
+    ) {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let app = CommGraph::random(cores, 0.3, 1.0, &mut rng);
+        let topo = synthesize(&app, &SynthesisConfig::default());
+        let routes = compute_routes(&topo, &app).expect("routable");
+        let pm = PowerModel::default();
+        let total = pm.traffic_energy(&topo, &app, &routes.paths);
+        prop_assert!(total > 0.0);
+        // Longer paths cost strictly more.
+        for p in &routes.paths {
+            if p.len() >= 2 {
+                let full = pm.path_energy(&topo, p);
+                let prefix = pm.path_energy(&topo, &p[..p.len() - 1]);
+                prop_assert!(full > prefix);
+            }
+        }
+    }
+}
+
+#[test]
+fn simulation_conserves_packets_below_saturation() {
+    let topo = Topology::mesh2d(4, 4);
+    let app = CommGraph::uniform(16, 1.0);
+    let routes = compute_routes(&topo, &app).expect("routable");
+    let cfg = SimConfig {
+        measure: 20_000,
+        ..SimConfig::default()
+    };
+    let stats = simulate(&topo, &app, &routes, 0.0003, &cfg);
+    assert!(stats.delivered <= stats.offered);
+    assert!(
+        stats.delivered as f64 >= stats.offered as f64 * 0.98,
+        "delivered {} of {}",
+        stats.delivered,
+        stats.offered
+    );
+    assert!(!stats.saturated);
+}
+
+#[test]
+fn synthesized_beats_mesh_on_hotspot_weighted_hops() {
+    // The E7 headline claim as a regression test.
+    for cores in [9usize, 16, 25] {
+        let app = CommGraph::hotspot(cores, 1.0);
+        let side = (cores as f64).sqrt() as usize;
+        let mesh = Topology::mesh2d(side, side);
+        let custom = synthesize(&app, &SynthesisConfig::default());
+        let mesh_routes = compute_routes(&mesh, &app).expect("mesh");
+        let custom_routes = compute_routes(&custom, &app).expect("custom");
+        assert!(
+            custom_routes.weighted_hops <= mesh_routes.weighted_hops,
+            "{cores} cores: custom {} mesh {}",
+            custom_routes.weighted_hops,
+            mesh_routes.weighted_hops
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests of the sensor-network simulators: conservation
+//! and boundedness invariants must hold for every protocol, field and
+//! failure regime.
+
+use micronano::wsn::field::Field;
+use micronano::wsn::harvest::{simulate_harvesting, DutyPolicy, HarvestConfig, SolarModel};
+use micronano::wsn::protocol::Protocol;
+use micronano::wsn::sim::{simulate_lifetime, LifetimeConfig};
+use proptest::prelude::*;
+
+fn any_protocol(which: u8) -> Protocol {
+    match which % 5 {
+        0 => Protocol::Direct,
+        1 => Protocol::tree(40.0, false),
+        2 => Protocol::tree(40.0, true),
+        3 => Protocol::cluster(0.1, false),
+        _ => Protocol::cluster(0.1, true),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn lifetime_stats_invariants(
+        seed in 0u64..50_000,
+        nodes in 10usize..60,
+        side in 60.0f64..200.0,
+        which in 0u8..5,
+        failure in 0.0f64..0.01,
+    ) {
+        let field = Field::random(nodes, side, seed);
+        let cfg = LifetimeConfig {
+            max_rounds: 400,
+            failure_rate: failure,
+            seed,
+            ..LifetimeConfig::default()
+        };
+        let s = simulate_lifetime(&field, any_protocol(which), &cfg);
+        prop_assert!(s.delivered <= s.sensed, "{} > {}", s.delivered, s.sensed);
+        prop_assert!(s.rounds <= cfg.max_rounds);
+        prop_assert!(s.first_death_round <= s.half_death_round);
+        prop_assert!(s.half_death_round <= s.rounds);
+        prop_assert!((0.0..=1.0).contains(&s.delivered_ratio));
+        prop_assert!((0.0..=1.0).contains(&s.avg_coverage));
+        prop_assert!(s.energy_spent >= 0.0);
+        // Energy conservation: the network cannot spend more than it had
+        // (battery-only run).
+        prop_assert!(
+            s.energy_spent <= nodes as f64 * cfg.initial_energy + 1e-9,
+            "spent {} of {}",
+            s.energy_spent,
+            nodes as f64 * cfg.initial_energy
+        );
+    }
+
+    #[test]
+    fn harvesting_stats_invariants(
+        seed in 0u64..50_000,
+        duty in 0.0f64..1.0,
+        cloudiness in 0.0f64..1.0,
+        days in 1u32..10,
+    ) {
+        let cfg = HarvestConfig {
+            days,
+            seed,
+            solar: SolarModel {
+                cloudiness,
+                ..SolarModel::default()
+            },
+            ..HarvestConfig::default()
+        };
+        for policy in [
+            DutyPolicy::Fixed(duty),
+            DutyPolicy::Greedy { threshold: 0.3, duty_high: duty, duty_low: 0.02 },
+            DutyPolicy::EnergyNeutral { alpha: 0.05 },
+        ] {
+            let s = simulate_harvesting(policy, &cfg);
+            prop_assert!(s.dead_slots <= s.total_slots);
+            prop_assert!((0.0..=1.0).contains(&s.uptime));
+            prop_assert!(s.work <= s.total_slots as f64 * cfg.slot + 1e-9);
+            prop_assert!(s.wasted >= 0.0);
+            prop_assert!(s.min_battery >= 0.0);
+            prop_assert!(s.min_battery <= cfg.battery_capacity);
+        }
+    }
+
+    #[test]
+    fn more_failures_never_help_coverage(
+        seed in 0u64..10_000,
+    ) {
+        let field = Field::random(40, 120.0, seed);
+        let base = LifetimeConfig {
+            max_rounds: 300,
+            seed,
+            ..LifetimeConfig::default()
+        };
+        let healthy = simulate_lifetime(&field, Protocol::cluster(0.1, true), &base);
+        let failing = simulate_lifetime(
+            &field,
+            Protocol::cluster(0.1, true),
+            &LifetimeConfig { failure_rate: 0.01, ..base },
+        );
+        prop_assert!(failing.avg_coverage <= healthy.avg_coverage + 0.05);
+    }
+}
