@@ -10,8 +10,8 @@ use mns_biosensor::array::{SensorArray, SensorConfig};
 use mns_biosensor::expression::{generate, SyntheticDatasetConfig};
 use mns_biosensor::kinetics::BindingKinetics;
 use mns_core::explore::explore_noc;
-use mns_crossbar::mapping::mapping_yield;
 use mns_core::report::{fmt_f64, Table};
+use mns_crossbar::mapping::mapping_yield;
 use mns_fluidics::assay::multiplex_immunoassay;
 use mns_fluidics::compiler::{compile, CompilerConfig};
 use mns_fluidics::constraints::verify_routes;
@@ -20,8 +20,7 @@ use mns_fluidics::workload::{random_routing_instance, RoutingWorkload};
 use mns_fluidics::{route_concurrent, route_serial, RoutingConfig};
 use mns_grn::dynamics::sync_attractors;
 use mns_grn::models::{
-    arabidopsis, mammalian_cell_cycle, organ_repertoire, t_helper, th_fates, FloralInputs,
-    ThFate,
+    arabidopsis, mammalian_cell_cycle, organ_repertoire, t_helper, th_fates, FloralInputs, ThFate,
 };
 use mns_grn::random::{random_network, RandomNetworkConfig};
 use mns_grn::symbolic::{SymbolicDynamics, VariableOrder};
@@ -66,8 +65,13 @@ pub fn e1_droplet_routing(seed: u64) -> Vec<Table> {
                 continue;
             }
             let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (side as u64) << 8 ^ droplets as u64);
-            let (grid, requests) =
-                random_routing_instance(&RoutingWorkload { grid_side: side, droplets }, &mut rng);
+            let (grid, requests) = random_routing_instance(
+                &RoutingWorkload {
+                    grid_side: side,
+                    droplets,
+                },
+                &mut rng,
+            );
             let cfg = RoutingConfig::default();
             let serial = route_serial(&grid, &requests, &cfg).expect("routable");
             let conc = route_concurrent(&grid, &requests, &cfg).expect("routable");
@@ -129,7 +133,9 @@ pub fn e2_assay_and_sensing(seed: u64) -> Vec<Table> {
     let mut t = Table::new(
         "E2a",
         "assay compilation (multiplexed immunoassay)",
-        &["samples", "grid", "makespan", "moves", "stalls", "energy", "retries"],
+        &[
+            "samples", "grid", "makespan", "moves", "stalls", "energy", "retries",
+        ],
     );
     for &(n, side) in &[(2usize, 16i32), (4, 16), (6, 16), (6, 24), (8, 24)] {
         let cfg = CompilerConfig {
@@ -479,8 +485,11 @@ pub fn e7_noc_synthesis(seed: u64) -> Vec<Table> {
                     ..SynthesisConfig::default()
                 },
             );
-            for (fabric, topo) in [("mesh", &mesh), ("min-cut", &custom), ("greedy(A3)", &greedy)]
-            {
+            for (fabric, topo) in [
+                ("mesh", &mesh),
+                ("min-cut", &custom),
+                ("greedy(A3)", &greedy),
+            ] {
                 let routes = compute_routes(topo, &app).expect("routable");
                 let stats = simulate(topo, &app, &routes, 0.0008, &sim_cfg);
                 t.row_owned(vec![
@@ -797,7 +806,13 @@ pub fn e11_crossbar(seed: u64) -> Vec<Table> {
     let mut t = Table::new(
         "E11",
         "crossbar mapping yield (16 inputs, 12 terms of 4 literals, 400 fabric instances)",
-        &["defect rate", "rows ×1.0", "rows ×1.5", "rows ×2.0", "rows ×3.0"],
+        &[
+            "defect rate",
+            "rows ×1.0",
+            "rows ×1.5",
+            "rows ×2.0",
+            "rows ×3.0",
+        ],
     );
     for &rate in &[0.0f64, 0.02, 0.05, 0.1, 0.2, 0.3] {
         let mut cells = vec![fmt_f64(rate)];

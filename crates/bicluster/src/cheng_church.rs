@@ -196,8 +196,7 @@ fn find_one(m: &Matrix, config: &ChengChurchConfig) -> Bicluster {
             if cols.contains(&c) {
                 continue;
             }
-            let col_mean =
-                rows.iter().map(|&r2| m.get(r2, c)).sum::<f64>() / rows.len() as f64;
+            let col_mean = rows.iter().map(|&r2| m.get(r2, c)).sum::<f64>() / rows.len() as f64;
             let d: f64 = rows
                 .iter()
                 .enumerate()

@@ -70,7 +70,10 @@ impl BinaryMatrix {
 
     /// Number of set bits in row `r`.
     pub fn row_count(&self, r: usize) -> usize {
-        self.row_words(r).iter().map(|w| w.count_ones() as usize).sum()
+        self.row_words(r)
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
     }
 
     /// Density: fraction of set bits.

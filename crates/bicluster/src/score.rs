@@ -58,9 +58,7 @@ pub fn score(truth: &[GroundTruthBicluster], found: &[Bicluster]) -> MatchScores
         .map(|t| Bicluster::new(t.rows.clone(), t.cols.clone()))
         .collect();
     let best = |x: &Bicluster, pool: &[Bicluster]| -> f64 {
-        pool.iter()
-            .map(|y| cell_jaccard(x, y))
-            .fold(0.0, f64::max)
+        pool.iter().map(|y| cell_jaccard(x, y)).fold(0.0, f64::max)
     };
     let recovery = if truth_b.is_empty() {
         0.0

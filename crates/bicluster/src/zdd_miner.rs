@@ -175,7 +175,7 @@ pub fn enumerate_maximal(matrix: &BinaryMatrix, config: &MinerConfig) -> MinedBi
     let all_rows: Vec<usize> = (0..matrix.rows()).collect();
     let root_cols = miner.closure_of_rows(&all_rows);
     miner.dfs(&root_cols, &all_rows, 0);
-    
+
     MinedBiclusters {
         family_count: miner.zdd.count(miner.family),
         zdd_nodes: miner.zdd.dag_size(miner.family),

@@ -226,7 +226,11 @@ mod tests {
     use super::*;
 
     fn array(probes: usize) -> SensorArray {
-        SensorArray::uniform(probes, BindingKinetics::dna_probe(), SensorConfig::default())
+        SensorArray::uniform(
+            probes,
+            BindingKinetics::dna_probe(),
+            SensorConfig::default(),
+        )
     }
 
     #[test]
@@ -291,7 +295,7 @@ mod tests {
         let cfg = SensorConfig {
             read_noise: 0.0,
             shot_coeff: 0.0,
-            adc_bits: 24,    // effectively no quantization
+            adc_bits: 24,          // effectively no quantization
             integration_time: 1e6, // effectively at equilibrium
             ..SensorConfig::default()
         };
@@ -299,10 +303,7 @@ mod tests {
         for c in [1e-10, 1e-9, 1e-8] {
             let reading = a.measure(&[c], 1)[0];
             let est = a.calibrate(0, reading);
-            assert!(
-                (est - c).abs() / c < 0.01,
-                "true {c}, estimated {est}"
-            );
+            assert!((est - c).abs() / c < 0.01, "true {c}, estimated {est}");
         }
     }
 
@@ -331,8 +332,10 @@ mod tests {
         // between 1 pM and 1 nM.
         assert!(lod > 1e-13 && lod < 1e-8, "LoD {lod}");
         // More averaging lowers (improves) the LoD.
-        let mut cfg = SensorConfig::default();
-        cfg.sites_per_probe = 32;
+        let cfg = SensorConfig {
+            sites_per_probe: 32,
+            ..SensorConfig::default()
+        };
         let better = SensorArray::uniform(1, BindingKinetics::dna_probe(), cfg);
         let lod2 = better.limit_of_detection(3.0, 100, 7);
         assert!(lod2 <= lod * 2.0, "averaged LoD {lod2} vs {lod}");

@@ -26,7 +26,11 @@ use mns_biosensor::expression::{generate, SyntheticDataset, SyntheticDatasetConf
 use mns_biosensor::kinetics::BindingKinetics;
 use mns_biosensor::Matrix;
 use mns_fluidics::assay::multiplex_immunoassay;
-use mns_fluidics::compiler::{compile, CompileError, CompileStats, CompilerConfig};
+use mns_fluidics::compiler::{
+    compile_with_faults, CompileError, CompileStats, CompiledAssay, CompilerConfig,
+};
+use mns_fluidics::faults::{FaultConfig, FaultModel};
+use mns_fluidics::geometry::Grid;
 
 /// Pipeline parameters.
 #[derive(Debug, Clone)]
@@ -47,6 +51,10 @@ pub struct PipelineConfig {
     /// Number of samples transported per chip run (sets the assay width
     /// used for the compile stats).
     pub samples_per_run: usize,
+    /// Optional electrode fault injection. When set, the fault seed is
+    /// mixed with the run seed so each run sees its own deterministic
+    /// fault map, and the compiler works around the injected faults.
+    pub fault: Option<FaultConfig>,
 }
 
 impl Default for PipelineConfig {
@@ -70,8 +78,30 @@ impl Default for PipelineConfig {
                 ..MinerConfig::default()
             },
             samples_per_run: 4,
+            fault: None,
         }
     }
+}
+
+/// Fault-injection and recovery counters for one pipeline run. All zeros
+/// when no faults were injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Dead electrodes injected into the array.
+    pub injected_dead: usize,
+    /// Degraded-actuation electrodes injected.
+    pub injected_degraded: usize,
+    /// Transient outages injected.
+    pub injected_transient: usize,
+    /// Failed routing attempts that forced a recompile.
+    pub reroutes: u32,
+    /// Stalls forced by dwelling on degraded electrodes.
+    pub forced_stalls: u32,
+    /// Waste transports sacrificed to keep the run compilable.
+    pub abandoned_transports: u32,
+    /// Samples dropped from the multiplexed run because the full plex
+    /// could not be compiled onto the faulty array.
+    pub samples_dropped: usize,
 }
 
 /// End-to-end pipeline report.
@@ -79,6 +109,9 @@ impl Default for PipelineConfig {
 pub struct PipelineReport {
     /// Microfluidic compile statistics (schedule, routes, energy).
     pub routing: CompileStats,
+    /// Fault-injection and recovery counters (zeros when no faults were
+    /// configured).
+    pub faults: FaultReport,
     /// Mean absolute sensing error in expression units.
     pub sensing_error: f64,
     /// Mining result summary.
@@ -143,9 +176,9 @@ impl LabChipPipeline {
     pub fn run(&self, seed: u64) -> Result<PipelineReport, PipelineError> {
         let cfg = &self.config;
 
-        // 1. Compile the transport program for one multiplexed run.
-        let assay = multiplex_immunoassay(cfg.samples_per_run);
-        let compiled = compile(&assay, &cfg.chip)?;
+        // 1. Compile the transport program for one multiplexed run,
+        //    working around injected electrode faults if any.
+        let (compiled, fault_report) = self.compile_run(seed)?;
 
         // 2. Biology + sensing: implant ground truth, push every sample
         //    through the sensor array.
@@ -183,10 +216,61 @@ impl LabChipPipeline {
 
         Ok(PipelineReport {
             routing: compiled.stats,
+            faults: fault_report,
             sensing_error,
             mining,
             interpretation,
         })
+    }
+
+    /// Compiles the multiplexed run, degrading gracefully under faults.
+    ///
+    /// Without a fault config this is a plain [`compile_with_faults`] with
+    /// an empty model — identical to [`mns_fluidics::compile`]. With one,
+    /// the fault map is drawn (fault seed mixed with the run seed) and, if
+    /// the full plex no longer fits the damaged array, the plex count is
+    /// reduced one sample at a time before giving up: a partial diagnosis
+    /// beats none.
+    fn compile_run(&self, seed: u64) -> Result<(CompiledAssay, FaultReport), PipelineError> {
+        let cfg = &self.config;
+        let model = match &cfg.fault {
+            None => FaultModel::none(),
+            Some(fc) => {
+                let grid = Grid::new(cfg.chip.grid_width, cfg.chip.grid_height)
+                    .map_err(CompileError::from)?;
+                let mixed = FaultConfig {
+                    seed: fc.seed ^ seed,
+                    ..*fc
+                };
+                FaultModel::generate(&mixed, &grid)
+            }
+        };
+        let mut report = FaultReport {
+            injected_dead: model.dead_cells().len(),
+            injected_degraded: model.degraded_cells().len(),
+            injected_transient: model.transients().len(),
+            ..FaultReport::default()
+        };
+        let floor = if model.is_empty() {
+            cfg.samples_per_run
+        } else {
+            1
+        };
+        let mut plex = cfg.samples_per_run.max(1);
+        loop {
+            let assay = multiplex_immunoassay(plex);
+            match compile_with_faults(&assay, &cfg.chip, &model) {
+                Ok(compiled) => {
+                    report.reroutes = compiled.stats.reroutes;
+                    report.forced_stalls = compiled.stats.forced_stalls;
+                    report.abandoned_transports = compiled.stats.abandoned;
+                    report.samples_dropped = cfg.samples_per_run.max(1) - plex;
+                    return Ok((compiled, report));
+                }
+                Err(e) if plex <= floor => return Err(e.into()),
+                Err(_) => plex -= 1,
+            }
+        }
     }
 }
 
@@ -230,6 +314,90 @@ mod tests {
         let r_noisy = LabChipPipeline::new(noisy).run(5).unwrap();
         assert!(r_noisy.sensing_error > r_clean.sensing_error);
         assert!(r_noisy.interpretation.f1 <= r_clean.interpretation.f1 + 0.05);
+    }
+
+    #[test]
+    fn fault_free_run_reports_zero_fault_counters() {
+        let report = LabChipPipeline::new(PipelineConfig::default())
+            .run(42)
+            .expect("pipeline runs");
+        assert_eq!(report.faults.injected_dead, 0);
+        assert_eq!(report.faults.injected_degraded, 0);
+        assert_eq!(report.faults.injected_transient, 0);
+        assert_eq!(report.faults.forced_stalls, 0);
+        assert_eq!(report.faults.abandoned_transports, 0);
+        assert_eq!(report.faults.samples_dropped, 0);
+        // Latency retries can happen even without faults; the counter just
+        // mirrors the compile stats.
+        assert_eq!(report.faults.reroutes, report.routing.reroutes);
+    }
+
+    #[test]
+    fn faulty_run_survives_and_reports_injection() {
+        let cfg = PipelineConfig {
+            fault: Some(FaultConfig {
+                seed: 3,
+                dead_fraction: 0.05,
+                degraded_fraction: 0.03,
+                transient_count: 2,
+                ..FaultConfig::default()
+            }),
+            ..PipelineConfig::default()
+        };
+        let report = LabChipPipeline::new(cfg)
+            .run(42)
+            .expect("pipeline degrades gracefully");
+        assert!(report.faults.injected_dead > 0);
+        assert!(report.faults.injected_degraded > 0);
+        assert_eq!(report.faults.injected_transient, 2);
+        assert!(report.routing.makespan > 0);
+        assert!(report.interpretation.recovery > 0.0);
+    }
+
+    #[test]
+    fn faulty_run_is_deterministic() {
+        let cfg = PipelineConfig {
+            fault: Some(FaultConfig {
+                seed: 11,
+                dead_fraction: 0.05,
+                ..FaultConfig::default()
+            }),
+            ..PipelineConfig::default()
+        };
+        let p = LabChipPipeline::new(cfg);
+        let a = p.run(7).unwrap();
+        let b = p.run(7).unwrap();
+        assert_eq!(a.routing, b.routing);
+        assert_eq!(a.faults, b.faults);
+    }
+
+    #[test]
+    fn heavy_faults_drop_samples_rather_than_fail() {
+        // A small array plus a dense fault map cannot host the full plex;
+        // the pipeline sheds samples instead of erroring out.
+        let mut cfg = PipelineConfig {
+            samples_per_run: 8,
+            fault: Some(FaultConfig {
+                seed: 5,
+                dead_fraction: 0.20,
+                ..FaultConfig::default()
+            }),
+            ..PipelineConfig::default()
+        };
+        cfg.chip.grid_width = 12;
+        cfg.chip.grid_height = 12;
+        match LabChipPipeline::new(cfg).run(1) {
+            Ok(r) => {
+                assert!(
+                    r.faults.samples_dropped > 0,
+                    "expected degradation on a 12x12 array with 20% dead"
+                );
+                assert!(r.routing.makespan > 0);
+            }
+            Err(PipelineError::Chip(_)) => {
+                panic!("pipeline should degrade to a smaller plex, not fail")
+            }
+        }
     }
 
     #[test]

@@ -49,7 +49,8 @@ impl Table {
             self.columns.len(),
             "row width must match columns"
         );
-        self.rows.push(cells.iter().map(|c| (*c).to_owned()).collect());
+        self.rows
+            .push(cells.iter().map(|c| (*c).to_owned()).collect());
     }
 
     /// Appends a row of already-owned cells.
@@ -145,7 +146,7 @@ mod tests {
     #[test]
     fn float_formatting() {
         assert_eq!(fmt_f64(3.0), "3");
-        assert_eq!(fmt_f64(3.14159), "3.142");
+        assert_eq!(fmt_f64(1.23456), "1.235");
         assert_eq!(fmt_f64(0.5), "0.5");
         assert_eq!(fmt_f64(1000.0), "1000");
     }

@@ -261,10 +261,7 @@ impl BddManager {
         if let Some(r) = self.cache_get(key) {
             return r;
         }
-        let v = self
-            .level(f)
-            .min(self.level(g))
-            .min(self.level(h));
+        let v = self.level(f).min(self.level(g)).min(self.level(h));
         let (f0, f1) = self.cofactors(f, v);
         let (g0, g1) = self.cofactors(g, v);
         let (h0, h1) = self.cofactors(h, v);
@@ -435,13 +432,7 @@ impl BddManager {
         self.restrict_rec(f, v, value, &mut memo)
     }
 
-    fn restrict_rec(
-        &mut self,
-        f: Ref,
-        v: Var,
-        value: bool,
-        memo: &mut HashMap<Ref, Ref>,
-    ) -> Ref {
+    fn restrict_rec(&mut self, f: Ref, v: Var, value: bool, memo: &mut HashMap<Ref, Ref>) -> Ref {
         if f.is_terminal() || self.level(f) > v {
             return f;
         }
@@ -475,7 +466,11 @@ impl BddManager {
         let mut cur = f;
         while !cur.is_terminal() {
             let n = self.arena.node(cur);
-            cur = if assignment[n.var as usize] { n.hi } else { n.lo };
+            cur = if assignment[n.var as usize] {
+                n.hi
+            } else {
+                n.lo
+            };
         }
         cur == Ref::ONE
     }
@@ -1002,8 +997,7 @@ mod tests {
         let mut count = 0;
         for bits in 0..16u32 {
             let assignment: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
-            let expect =
-                (assignment[0] ^ assignment[1]) && (assignment[2] || !assignment[3]);
+            let expect = (assignment[0] ^ assignment[1]) && (assignment[2] || !assignment[3]);
             assert_eq!(m.eval(f, &assignment), expect);
             if expect {
                 count += 1;

@@ -604,10 +604,7 @@ mod tests {
         let u = m.union(f, g);
         let i = m.intersect(f, g);
         let d = m.diff(f, g);
-        assert_eq!(
-            to_family(&m, u),
-            fam(&[&[0], &[0, 1], &[1, 2], &[2, 3]])
-        );
+        assert_eq!(to_family(&m, u), fam(&[&[0], &[0, 1], &[1, 2], &[2, 3]]));
         assert_eq!(to_family(&m, i), fam(&[&[0, 1], &[2, 3]]));
         assert_eq!(to_family(&m, d), fam(&[&[0]]));
     }
@@ -618,10 +615,7 @@ mod tests {
         let f = m.from_sets(&[&[0], &[1]]);
         let g = m.from_sets(&[&[2], &[3]]);
         let j = m.join(f, g);
-        assert_eq!(
-            to_family(&m, j),
-            fam(&[&[0, 2], &[0, 3], &[1, 2], &[1, 3]])
-        );
+        assert_eq!(to_family(&m, j), fam(&[&[0, 2], &[0, 3], &[1, 2], &[1, 3]]));
         // Join with unit is identity; with empty annihilates.
         assert_eq!(m.join(f, Ref::ONE), f);
         assert_eq!(m.join(f, Ref::ZERO), Ref::ZERO);
@@ -689,8 +683,7 @@ mod tests {
                 let k = rng.gen_range(0..6);
                 (0..k)
                     .map(|_| {
-                        let mut s: Vec<Var> =
-                            (0..nv).filter(|_| rng.gen_bool(0.4)).collect();
+                        let mut s: Vec<Var> = (0..nv).filter(|_| rng.gen_bool(0.4)).collect();
                         s.dedup();
                         s
                     })
@@ -710,26 +703,19 @@ mod tests {
             let diff_expect: Family = fs.difference(&gs).cloned().collect();
             let nsub_expect: Family = fs
                 .iter()
-                .filter(|s| {
-                    !gs.iter().any(|t| {
-                        s.iter().all(|e| t.contains(e))
-                    })
-                })
+                .filter(|s| !gs.iter().any(|t| s.iter().all(|e| t.contains(e))))
                 .cloned()
                 .collect();
             let nsup_expect: Family = fs
                 .iter()
-                .filter(|s| {
-                    !gs.iter().any(|t| t.iter().all(|e| s.contains(e)))
-                })
+                .filter(|s| !gs.iter().any(|t| t.iter().all(|e| s.contains(e))))
                 .cloned()
                 .collect();
             let max_expect: Family = fs
                 .iter()
                 .filter(|s| {
-                    !fs.iter().any(|t| {
-                        t.len() > s.len() && s.iter().all(|e| t.contains(e))
-                    })
+                    !fs.iter()
+                        .any(|t| t.len() > s.len() && s.iter().all(|e| t.contains(e)))
                 })
                 .cloned()
                 .collect();
@@ -752,7 +738,14 @@ mod tests {
     #[test]
     fn count_matches_sets_len() {
         let mut m = ZddManager::new(8);
-        let sets: Vec<Vec<Var>> = (0..8u32).map(|i| vec![i % 8, (i * 3 + 1) % 8]).map(|mut v| { v.sort_unstable(); v.dedup(); v }).collect();
+        let sets: Vec<Vec<Var>> = (0..8u32)
+            .map(|i| vec![i % 8, (i * 3 + 1) % 8])
+            .map(|mut v| {
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+            .collect();
         let refs: Vec<&[Var]> = sets.iter().map(|v| v.as_slice()).collect();
         let f = m.from_sets(&refs);
         assert_eq!(m.count(f) as usize, m.sets(f).len());

@@ -352,9 +352,7 @@ pub fn concentrations(assay: &Assay) -> Vec<f64> {
             OpKind::Mix | OpKind::Dilute => {
                 (conc[op.inputs[0].0 as usize] + conc[op.inputs[1].0 as usize]) / 2.0
             }
-            OpKind::Split | OpKind::Detect | OpKind::Output => {
-                conc[op.inputs[0].0 as usize]
-            }
+            OpKind::Split | OpKind::Detect | OpKind::Output => conc[op.inputs[0].0 as usize],
         };
     }
     conc
@@ -494,10 +492,7 @@ mod tests {
         assert_eq!(OpKind::Mix.arity_in(), 2);
         assert_eq!(OpKind::Split.arity_out(), 2);
         assert_eq!(
-            OpKind::Dispense {
-                fluid: "x".into()
-            }
-            .to_string(),
+            OpKind::Dispense { fluid: "x".into() }.to_string(),
             "dispense(x)"
         );
         assert_eq!(OpId(3).to_string(), "op3");

@@ -7,18 +7,20 @@
 //! transport latency and retries — the fast design-closure loop the
 //! keynote asks of system-level design tools.
 
+use std::collections::BTreeSet;
 use std::error::Error;
 use std::fmt;
 
 use crate::assay::{Assay, OpId, OpKind};
 use crate::constraints::verify_routes_exempting_merges;
+use crate::faults::FaultModel;
 use crate::geometry::{Cell, Grid, GridError};
 use crate::modules::ModuleLibrary;
 use crate::program::ElectrodeProgram;
 use crate::route::{
-    route_with_obstacles, Obstacle, Route, RouteError, RoutingConfig, RoutingRequest,
+    route_with_environment, Obstacle, Route, RouteError, RoutingConfig, RoutingRequest,
 };
-use crate::schedule::{schedule, Schedule, ScheduleConfig, ScheduleError};
+use crate::schedule::{schedule_with_keepout, Schedule, ScheduleConfig, ScheduleError};
 
 /// Compiler parameters.
 #[derive(Debug, Clone)]
@@ -52,7 +54,7 @@ impl Default for CompilerConfig {
 }
 
 /// Statistics of a successful compile.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CompileStats {
     /// Schedule makespan in ticks.
     pub makespan: u32,
@@ -62,8 +64,18 @@ pub struct CompileStats {
     pub route_stalls: u32,
     /// Electrode activations (energy proxy).
     pub energy: u64,
-    /// Latency-widening retries that were needed.
+    /// Latency-widening retries within the successful compile phase.
     pub retries: u32,
+    /// Total routing attempts that failed and forced a recompile, across
+    /// every latency-widening and abandonment phase. Equals
+    /// [`retries`](Self::retries) for fault-free compiles.
+    pub reroutes: u32,
+    /// Stalls spent dwelling on degraded electrodes (the slow-actuation
+    /// penalty), a subset of [`route_stalls`](Self::route_stalls).
+    pub forced_stalls: u32,
+    /// Transport requests sacrificed to make the assay routable on the
+    /// degraded array (always waste-port transports, never results).
+    pub abandoned: u32,
 }
 
 /// A fully compiled assay.
@@ -78,6 +90,9 @@ pub struct CompiledAssay {
     /// post-route analyses such as
     /// [`contamination`](crate::contamination).
     pub edges: Vec<(OpId, OpId)>,
+    /// DAG edges whose transports were abandoned during fault recovery
+    /// (empty for fault-free compiles).
+    pub abandoned_edges: Vec<(OpId, OpId)>,
     /// The electrode actuation program.
     pub program: ElectrodeProgram,
     /// Aggregate statistics.
@@ -148,46 +163,146 @@ fn tag_of(op: OpId) -> u32 {
 /// constructed, or droplet routing keeps failing after widening the
 /// transport windows [`CompilerConfig::max_latency_retries`] times.
 pub fn compile(assay: &Assay, config: &CompilerConfig) -> Result<CompiledAssay, CompileError> {
-    let grid = Grid::new(config.grid_width, config.grid_height)?;
-    let mut sched_cfg = config.schedule;
-    let mut last_err = None;
+    compile_with_faults(assay, config, &FaultModel::none())
+}
 
-    for retry in 0..=config.max_latency_retries {
-        let sched = schedule(assay, &grid, &config.library, &sched_cfg)?;
-        match route_schedule(assay, &grid, &sched, &config.routing) {
-            Ok((routes, edges)) => {
-                // Merge partners are routes feeding the same consumer op —
-                // the precise definition, derived from the edge list.
-                let partners = |i: usize, j: usize| edges[i].1 == edges[j].1;
-                let violations = verify_routes_exempting_merges(&routes, &partners);
-                if !violations.is_empty() {
-                    return Err(CompileError::UnsafeRoutes(violations.len()));
+/// Compiles `assay` onto an array degraded by `faults`, recovering where
+/// it can (degrade-and-retry):
+///
+/// 1. modules are **re-placed off faulty regions** — dead and transient
+///    cells become a placement keepout,
+/// 2. droplets are **re-routed around** dead/transient electrodes (hard,
+///    ring-less obstacles) and **through** degraded ones (a forced dwell
+///    per crossing), with the usual escalating latency budgets,
+/// 3. if routing still fails, **waste transports are sacrificed** one at
+///    a time (droplets headed to [`OpKind::Output`] ports stay parked in
+///    their producer module instead) and compilation restarts.
+///
+/// The sacrifices are reported in [`CompileStats`]: `reroutes` (failed
+/// routing attempts that forced a recompile), `forced_stalls` (dwell
+/// penalty paid on degraded cells) and `abandoned` (dropped waste
+/// transports, also listed in [`CompiledAssay::abandoned_edges`]).
+///
+/// With [`FaultModel::none`] this is exactly [`compile`].
+///
+/// # Errors
+///
+/// Returns [`CompileError`] if the degraded array cannot host the assay
+/// even after every recovery step.
+pub fn compile_with_faults(
+    assay: &Assay,
+    config: &CompilerConfig,
+    faults: &FaultModel,
+) -> Result<CompiledAssay, CompileError> {
+    let grid = Grid::new(config.grid_width, config.grid_height)?;
+    let keepout = faults.placement_keepout();
+    let fault_obstacles = faults.obstacles();
+    let degraded = faults.degraded_cells();
+
+    // Waste transports, in DAG-edge order: the sacrificable set.
+    let sacrificable: Vec<usize> = edge_list(assay)
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, consumer))| matches!(assay.op(*consumer).kind, OpKind::Output))
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut abandoned: BTreeSet<usize> = BTreeSet::new();
+    let mut reroutes = 0u32;
+
+    loop {
+        let mut sched_cfg = config.schedule;
+        let mut last_err = None;
+        for retry in 0..=config.max_latency_retries {
+            let sched = schedule_with_keepout(assay, &grid, &config.library, &sched_cfg, &keepout)?;
+            match route_schedule(
+                assay,
+                &grid,
+                &sched,
+                &config.routing,
+                &fault_obstacles,
+                degraded,
+                &abandoned,
+            ) {
+                Ok((routes, edges)) => {
+                    // Merge partners are routes feeding the same consumer
+                    // op — the precise definition, from the edge list.
+                    let partners = |i: usize, j: usize| edges[i].1 == edges[j].1;
+                    let violations = verify_routes_exempting_merges(&routes, &partners);
+                    if !violations.is_empty() {
+                        return Err(CompileError::UnsafeRoutes(violations.len()));
+                    }
+                    let program = build_program(assay, &sched, &routes);
+                    let abandoned_edges: Vec<(OpId, OpId)> = {
+                        let all = edge_list(assay);
+                        abandoned.iter().map(|&i| all[i]).collect()
+                    };
+                    let stats = CompileStats {
+                        makespan: sched.makespan(),
+                        route_moves: routes.iter().map(Route::moves).sum(),
+                        route_stalls: routes.iter().map(Route::stalls).sum(),
+                        energy: program.energy(),
+                        retries: retry,
+                        reroutes,
+                        forced_stalls: forced_stall_count(&routes, degraded),
+                        abandoned: abandoned.len() as u32,
+                    };
+                    return Ok(CompiledAssay {
+                        schedule: sched,
+                        routes,
+                        edges,
+                        abandoned_edges,
+                        program,
+                        stats,
+                    });
                 }
-                let program = build_program(assay, &sched, &routes);
-                let stats = CompileStats {
-                    makespan: sched.makespan(),
-                    route_moves: routes.iter().map(Route::moves).sum(),
-                    route_stalls: routes.iter().map(Route::stalls).sum(),
-                    energy: program.energy(),
-                    retries: retry,
-                };
-                return Ok(CompiledAssay {
-                    schedule: sched,
-                    routes,
-                    edges,
-                    program,
-                    stats,
-                });
+                Err(e) => {
+                    reroutes += 1;
+                    last_err = Some(e);
+                    sched_cfg.transport_latency *= 2;
+                }
             }
-            Err(e) => {
-                last_err = Some(e);
-                sched_cfg.transport_latency *= 2;
+        }
+        // Latency escalation exhausted. Under fault injection, sacrifice
+        // the next waste transport and recompile from the initial budget;
+        // fault-free compiles keep their original failure semantics.
+        let next_sacrifice = sacrificable.iter().find(|i| !abandoned.contains(i));
+        match next_sacrifice {
+            Some(&i) if !faults.is_empty() => {
+                abandoned.insert(i);
+            }
+            _ => {
+                return Err(CompileError::Route(
+                    last_err.expect("at least one routing attempt was made"),
+                ));
             }
         }
     }
-    Err(CompileError::Route(
-        last_err.expect("at least one routing attempt was made"),
-    ))
+}
+
+/// The assay's droplet-transport edges `(producer, consumer)` in the
+/// deterministic enumeration order `route_schedule` uses.
+fn edge_list(assay: &Assay) -> Vec<(OpId, OpId)> {
+    let mut edges = Vec::new();
+    for op in assay.operations() {
+        for &producer in op.inputs.iter() {
+            edges.push((producer, op.id));
+        }
+    }
+    edges
+}
+
+/// Stalls spent dwelling on degraded electrodes across all routes.
+fn forced_stall_count(routes: &[Route], degraded: &[Cell]) -> u32 {
+    routes
+        .iter()
+        .map(|r| {
+            r.path
+                .windows(2)
+                .filter(|w| w[0] == w[1] && degraded.contains(&w[0]))
+                .count() as u32
+        })
+        .sum()
 }
 
 /// Hand-off cell where a droplet leaves the module of `op`: the centre
@@ -221,17 +336,26 @@ fn sink_cell(sched: &Schedule, op: OpId) -> Cell {
     )
 }
 
+/// Routes plus the DAG edge behind each one, index-aligned.
+type RoutedEdges = (Vec<Route>, Vec<(OpId, OpId)>);
+
 /// Routes every droplet transport implied by the assay DAG, concurrently,
-/// avoiding active modules.
+/// avoiding active modules, `extra_obstacles` (faulty electrodes) and
+/// dwelling on `degraded` cells. Edges whose index (in DAG-edge order)
+/// appears in `abandoned` get no route; the returned edge list stays
+/// aligned with the returned routes.
 fn route_schedule(
     assay: &Assay,
     grid: &Grid,
     sched: &Schedule,
     routing: &RoutingConfig,
-) -> Result<(Vec<Route>, Vec<(OpId, OpId)>), RouteError> {
+    extra_obstacles: &[Obstacle],
+    degraded: &[Cell],
+    abandoned: &BTreeSet<usize>,
+) -> Result<RoutedEdges, RouteError> {
     // Modules block the array while reserved; landing windows are covered
     // by the reservation interval produced by the scheduler.
-    let obstacles: Vec<Obstacle> = sched
+    let mut obstacles: Vec<Obstacle> = sched
         .entries()
         .iter()
         .map(|e| {
@@ -243,33 +367,41 @@ fn route_schedule(
             // router's pairwise constraints protect them (the scheduler
             // already keeps new *modules* away via its extended
             // reservation).
-            Obstacle {
-                min: e.origin,
-                max: Cell::new(
+            Obstacle::region(
+                e.origin,
+                Cell::new(
                     e.origin.x + e.spec.width - 1,
                     e.origin.y + e.spec.height - 1,
                 ),
-                from: e.reserve_from,
-                until: e.end,
-                tag: tag_of(e.op),
-            }
+                e.reserve_from,
+                e.end,
+                tag_of(e.op),
+            )
         })
         .collect();
+    obstacles.extend_from_slice(extra_obstacles);
 
     // One routing request per DAG edge. Output-slot indices make split
     // products leave from opposite splitter ends; the counter covers both
     // earlier consumers and earlier input slots of the same consumer
-    // (e.g. `mix(sp, sp)` re-merging a split).
+    // (e.g. `mix(sp, sp)` re-merging a split). Abandoned edges still
+    // advance the counters (so surviving split products keep their
+    // designated ends) but produce no request.
     let mut requests = Vec::new();
     let mut edges = Vec::new();
     let mut next_id = 0u32;
     let mut used_slots: std::collections::HashMap<OpId, usize> = std::collections::HashMap::new();
     for op in assay.operations() {
         for &producer in op.inputs.iter() {
-            edges.push((producer, op.id));
+            let edge_index = next_id as usize;
             let slot_ref = used_slots.entry(producer).or_insert(0);
             let slot = *slot_ref;
             *slot_ref += 1;
+            if abandoned.contains(&edge_index) {
+                next_id += 1;
+                continue;
+            }
+            edges.push((producer, op.id));
             let pe = sched.entry(producer);
             let ce = sched.entry(op.id);
             let multi_output = assay.op(producer).kind.arity_out() > 1;
@@ -296,7 +428,7 @@ fn route_schedule(
         debug_assert!(op.inputs.len() == op.kind.arity_in());
     }
 
-    let outcome = route_with_obstacles(grid, &requests, &obstacles, routing)?;
+    let outcome = route_with_environment(grid, &requests, &obstacles, degraded, routing)?;
     Ok((outcome.routes, edges))
 }
 
@@ -388,9 +520,11 @@ mod tests {
         assert_eq!(compiled.routes.len(), 9);
         // Droplet parallelism shows up as overlapping routes.
         let overlapping = compiled.routes.iter().enumerate().any(|(i, a)| {
-            compiled.routes.iter().skip(i + 1).any(|b| {
-                a.depart < b.arrival() && b.depart < a.arrival()
-            })
+            compiled
+                .routes
+                .iter()
+                .skip(i + 1)
+                .any(|b| a.depart < b.arrival() && b.depart < a.arrival())
         });
         assert!(overlapping, "expected temporally overlapping transports");
     }
@@ -483,5 +617,126 @@ mod tests {
         let moves: u32 = compiled.routes.iter().map(Route::moves).sum();
         assert_eq!(compiled.stats.route_moves, moves);
         assert_eq!(compiled.stats.energy, compiled.program.energy());
+        assert_eq!(compiled.stats.abandoned, 0);
+        assert_eq!(compiled.stats.forced_stalls, 0);
+        assert!(compiled.abandoned_edges.is_empty());
+    }
+
+    #[test]
+    fn empty_fault_model_matches_plain_compile() {
+        let cfg = CompilerConfig::default();
+        let assay = multiplex_immunoassay(3);
+        let plain = compile(&assay, &cfg).unwrap();
+        let faulty = compile_with_faults(&assay, &cfg, &crate::faults::FaultModel::none()).unwrap();
+        assert_eq!(plain.stats, faulty.stats);
+        assert_eq!(plain.routes, faulty.routes);
+    }
+
+    #[test]
+    fn dead_electrodes_are_never_touched() {
+        use crate::faults::{FaultConfig, FaultModel};
+        let cfg = CompilerConfig::default();
+        let grid = Grid::new(cfg.grid_width, cfg.grid_height).unwrap();
+        let assay = multiplex_immunoassay(4);
+        for seed in 0..5u64 {
+            let model = FaultModel::generate(&FaultConfig::dead(seed, 0.05), &grid);
+            let compiled = compile_with_faults(&assay, &cfg, &model).expect("recoverable");
+            // No route ever occupies a dead electrode…
+            for r in &compiled.routes {
+                for c in &r.path {
+                    assert!(!model.is_dead(*c), "route {} crosses dead cell {c}", r.id);
+                }
+            }
+            // …and no module covers one.
+            for e in compiled.schedule.entries() {
+                for d in model.dead_cells() {
+                    let covered = d.x >= e.origin.x
+                        && d.x < e.origin.x + e.spec.width
+                        && d.y >= e.origin.y
+                        && d.y < e.origin.y + e.spec.height;
+                    assert!(!covered, "{} placed over dead cell {d}", e.op);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_fault_seed_reproduces_identical_stats() {
+        use crate::faults::{FaultConfig, FaultModel};
+        let cfg = CompilerConfig::default();
+        let grid = Grid::new(cfg.grid_width, cfg.grid_height).unwrap();
+        let fc = FaultConfig {
+            seed: 11,
+            dead_fraction: 0.05,
+            degraded_fraction: 0.05,
+            transient_count: 2,
+            ..FaultConfig::default()
+        };
+        let assay = multiplex_immunoassay(3);
+        let a = compile_with_faults(&assay, &cfg, &FaultModel::generate(&fc, &grid)).unwrap();
+        let b = compile_with_faults(&assay, &cfg, &FaultModel::generate(&fc, &grid)).unwrap();
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn degraded_crossings_are_counted_as_forced_stalls() {
+        use crate::faults::{FaultModel, TransientFault};
+        // A degraded wall splitting the array: transports crossing it pay
+        // dwells, which the stats attribute to the faults.
+        let cfg = CompilerConfig::default();
+        let degraded: Vec<Cell> = (0..16).map(|y| Cell::new(8, y)).collect();
+        let model = FaultModel::from_parts(Vec::new(), degraded, Vec::<TransientFault>::new());
+        let compiled = compile_with_faults(&multiplex_immunoassay(4), &cfg, &model)
+            .expect("degraded cells never make an array unroutable");
+        assert!(compiled.stats.forced_stalls <= compiled.stats.route_stalls);
+        let recount: u32 = compiled
+            .routes
+            .iter()
+            .map(|r| {
+                r.path
+                    .windows(2)
+                    .filter(|w| w[0] == w[1] && model.degraded_cells().contains(&w[0]))
+                    .count() as u32
+            })
+            .sum();
+        assert_eq!(compiled.stats.forced_stalls, recount);
+    }
+
+    #[test]
+    fn unroutable_waste_transport_is_abandoned() {
+        use crate::faults::{FaultModel, TransientFault};
+        // An impossible routing budget (max_time 1) makes the single
+        // waste transport unroutable; under fault injection the compiler
+        // sacrifices it instead of failing.
+        let mut b = Assay::builder();
+        let d = b.dispense("sample");
+        b.output(d);
+        let assay = b.build().unwrap();
+        let cfg = CompilerConfig {
+            routing: crate::route::RoutingConfig {
+                max_time: 1,
+                ..crate::route::RoutingConfig::default()
+            },
+            ..CompilerConfig::default()
+        };
+        let model = FaultModel::from_parts(
+            vec![Cell::new(7, 7)],
+            Vec::new(),
+            Vec::<TransientFault>::new(),
+        );
+        let compiled = compile_with_faults(&assay, &cfg, &model).expect("degrades gracefully");
+        assert_eq!(compiled.stats.abandoned, 1);
+        assert!(compiled.routes.is_empty());
+        assert_eq!(compiled.abandoned_edges.len(), 1);
+        assert!(matches!(
+            assay.op(compiled.abandoned_edges[0].1).kind,
+            OpKind::Output
+        ));
+        // Every failed attempt was counted.
+        assert_eq!(compiled.stats.reroutes, cfg.max_latency_retries + 1);
+        // Without faults the same configuration fails outright — result
+        // transports are never sacrificed silently.
+        let plain = compile(&assay, &cfg);
+        assert!(matches!(plain, Err(CompileError::Route(_))));
     }
 }

@@ -143,10 +143,7 @@ impl Grid {
 
     /// Whether a `w × h` rectangle anchored at `origin` fits on the array.
     pub const fn fits(&self, origin: Cell, w: i32, h: i32) -> bool {
-        origin.x >= 0
-            && origin.y >= 0
-            && origin.x + w <= self.width
-            && origin.y + h <= self.height
+        origin.x >= 0 && origin.y >= 0 && origin.x + w <= self.width && origin.y + h <= self.height
     }
 }
 

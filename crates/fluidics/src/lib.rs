@@ -19,7 +19,10 @@
 //! * [`route`] — concurrent droplet routing: prioritized space-time A\*
 //!   with stalls, priority rotation, plus a serial baseline for E1,
 //! * [`compiler`] — the end-to-end pipeline producing an electrode
-//!   actuation [`program::ElectrodeProgram`],
+//!   actuation [`program::ElectrodeProgram`], with a fault-tolerant
+//!   recompilation entry point ([`compile_with_faults`]),
+//! * [`faults`] — deterministic electrode fault injection (dead,
+//!   degraded and transient cells),
 //! * [`contamination`] — post-route cross-contamination sign-off,
 //! * [`workload`] — random instance generators for benchmarks.
 //!
@@ -49,6 +52,7 @@ pub mod assay;
 pub mod compiler;
 pub mod constraints;
 pub mod contamination;
+pub mod faults;
 pub mod geometry;
 pub mod modules;
 pub mod place;
@@ -58,9 +62,10 @@ pub mod schedule;
 pub mod workload;
 
 pub use assay::{Assay, AssayError, OpId, OpKind, Operation};
-pub use compiler::{compile, CompileError, CompiledAssay, CompilerConfig};
+pub use compiler::{compile, compile_with_faults, CompileError, CompiledAssay, CompilerConfig};
+pub use faults::{FaultConfig, FaultModel, TransientFault};
 pub use geometry::{Cell, Grid, GridError};
 pub use route::{
-    route_concurrent, route_serial, Route, RouteError, RoutingConfig, RoutingOutcome,
-    RoutingRequest,
+    route_concurrent, route_serial, route_with_environment, Route, RouteError, RoutingConfig,
+    RoutingOutcome, RoutingRequest,
 };

@@ -179,9 +179,7 @@ mod tests {
             OpKind::Split,
             OpKind::Dilute,
             OpKind::Detect,
-            OpKind::Dispense {
-                fluid: "x".into(),
-            },
+            OpKind::Dispense { fluid: "x".into() },
             OpKind::Output,
         ] {
             assert!(!lib.options(&kind).is_empty(), "{kind} has no module");

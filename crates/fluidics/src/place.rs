@@ -76,6 +76,7 @@ impl Reservation {
 pub struct Placer {
     grid: Grid,
     reservations: Vec<Reservation>,
+    keepout: Vec<Cell>,
 }
 
 impl Placer {
@@ -84,6 +85,17 @@ impl Placer {
         Placer {
             grid,
             reservations: Vec::new(),
+            keepout: Vec::new(),
+        }
+    }
+
+    /// Creates a placer that never covers any of the `keepout` cells — a
+    /// module cannot work on top of a faulty electrode.
+    pub fn with_keepout(grid: Grid, keepout: Vec<Cell>) -> Self {
+        Placer {
+            grid,
+            reservations: Vec::new(),
+            keepout,
         }
     }
 
@@ -97,8 +109,21 @@ impl Placer {
         &self.reservations
     }
 
+    /// The cells this placer refuses to cover.
+    pub fn keepout(&self) -> &[Cell] {
+        &self.keepout
+    }
+
     fn try_at(&self, origin: Cell, spec: ModuleSpec, from: u32, until: u32) -> bool {
         if !self.grid.fits(origin, spec.width, spec.height) {
+            return false;
+        }
+        let max = Cell::new(origin.x + spec.width - 1, origin.y + spec.height - 1);
+        if self
+            .keepout
+            .iter()
+            .any(|c| c.x >= origin.x && c.x <= max.x && c.y >= origin.y && c.y <= max.y)
+        {
             return false;
         }
         let candidate = Reservation {
@@ -125,13 +150,7 @@ impl Placer {
             let max = Cell::new(c.x + spec.width - 1, c.y + spec.height - 1);
             c.x.min(c.y).min(w - 1 - max.x).min(h - 1 - max.y)
         };
-        scan.sort_by_key(|&c| {
-            (
-                std::cmp::Reverse(boundary_distance(c)),
-                c.y,
-                c.x,
-            )
-        });
+        scan.sort_by_key(|&c| (std::cmp::Reverse(boundary_distance(c)), c.y, c.x));
         for origin in scan {
             if self.try_at(origin, spec, from, until) {
                 self.reservations.push(Reservation {
@@ -189,7 +208,11 @@ mod tests {
         // Guard band: rectangles separated by at least one empty cell.
         let ra = p.reservations()[0];
         let rb = p.reservations()[1];
-        assert!(!ra.conflicts(&Reservation { from: 0, until: 10, ..rb }));
+        assert!(!ra.conflicts(&Reservation {
+            from: 0,
+            until: 10,
+            ..rb
+        }));
         let dx = (a.x - b.x).abs();
         let dy = (a.y - b.y).abs();
         assert!(dx >= 3 || dy >= 3, "a={a}, b={b}");
@@ -218,6 +241,26 @@ mod tests {
         for _ in 0..4 {
             let c = p.place_on_edge(spec(1, 1), 0, 100).unwrap();
             assert!(c.x == 0 || c.y == 0 || c.x == 7 || c.y == 7);
+        }
+    }
+
+    #[test]
+    fn keepout_cells_are_never_covered() {
+        let keepout = vec![Cell::new(4, 4), Cell::new(5, 5), Cell::new(0, 0)];
+        let mut p = Placer::with_keepout(Grid::new(10, 10).unwrap(), keepout.clone());
+        for _ in 0..6 {
+            if p.place(spec(3, 3), 0, 10).is_none() {
+                break;
+            }
+        }
+        let _ = p.place_on_edge(spec(1, 1), 0, 10);
+        for r in p.reservations() {
+            let max = r.max();
+            for k in &keepout {
+                let covered =
+                    k.x >= r.origin.x && k.x <= max.x && k.y >= r.origin.y && k.y <= max.y;
+                assert!(!covered, "reservation at {} covers keepout {k}", r.origin);
+            }
         }
     }
 

@@ -92,7 +92,7 @@ impl RoutingRequest {
 }
 
 /// A rectangular region blocked for routing during a time interval
-/// (an active module plus its segregation ring).
+/// (an active module plus its segregation ring, or a faulty electrode).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Obstacle {
     /// Lower-left corner (inclusive).
@@ -106,18 +106,49 @@ pub struct Obstacle {
     /// Caller-chosen tag matched against [`RoutingRequest::ignore_tags`];
     /// use `0` for untagged walls.
     pub tag: u32,
+    /// Whether [`blocks`](Self::blocks) expands the region by the 1-cell
+    /// segregation ring. Active modules need the ring (a droplet adjacent
+    /// to a module would merge with the droplets inside); a dead electrode
+    /// blocks only itself — droplets may pass right next to it.
+    pub ring: bool,
 }
 
 impl Obstacle {
-    /// Whether `cell` at tick `t` is inside the obstacle expanded by the
-    /// 1-cell segregation ring.
+    /// A module-style obstacle: `blocks` includes the segregation ring.
+    pub fn region(min: Cell, max: Cell, from: u32, until: u32, tag: u32) -> Self {
+        Obstacle {
+            min,
+            max,
+            from,
+            until,
+            tag,
+            ring: true,
+        }
+    }
+
+    /// A single-cell, ring-less obstacle (a dead or transiently faulty
+    /// electrode): only the cell itself is unusable.
+    pub fn cell(cell: Cell, from: u32, until: u32) -> Self {
+        Obstacle {
+            min: cell,
+            max: cell,
+            from,
+            until,
+            tag: 0,
+            ring: false,
+        }
+    }
+
+    /// Whether `cell` at tick `t` is inside the obstacle (expanded by the
+    /// 1-cell segregation ring when [`ring`](Self::ring) is set).
     pub fn blocks(&self, cell: Cell, t: u32) -> bool {
+        let r = i32::from(self.ring);
         t >= self.from
             && t < self.until
-            && cell.x >= self.min.x - 1
-            && cell.x <= self.max.x + 1
-            && cell.y >= self.min.y - 1
-            && cell.y <= self.max.y + 1
+            && cell.x >= self.min.x - r
+            && cell.x <= self.max.x + r
+            && cell.y >= self.min.y - r
+            && cell.y <= self.max.y + r
     }
 }
 
@@ -259,6 +290,25 @@ pub fn route_with_obstacles(
     obstacles: &[Obstacle],
     config: &RoutingConfig,
 ) -> Result<RoutingOutcome, RouteError> {
+    route_with_environment(grid, requests, obstacles, &[], config)
+}
+
+/// Routes all requests concurrently in a *degraded environment*: besides
+/// time-windowed [`Obstacle`] regions, `degraded` lists electrodes with
+/// weakened actuation — a droplet can still cross one, but moving onto it
+/// takes two ticks instead of one (the droplet dwells on the slow cell),
+/// which shows up as a forced stall in the resulting [`Route`].
+///
+/// # Errors
+///
+/// See [`RouteError`].
+pub fn route_with_environment(
+    grid: &Grid,
+    requests: &[RoutingRequest],
+    obstacles: &[Obstacle],
+    degraded: &[Cell],
+    config: &RoutingConfig,
+) -> Result<RoutingOutcome, RouteError> {
     for r in requests {
         if !grid.contains(r.start) || !grid.contains(r.goal) {
             return Err(RouteError::BadEndpoint(r.id));
@@ -274,9 +324,11 @@ pub fn route_with_obstacles(
     let mut order: Vec<usize> = (0..requests.len()).collect();
     order.sort_by_key(|&i| Reverse(requests[i].start.manhattan(requests[i].goal)));
 
+    let degraded: std::collections::HashSet<Cell> = degraded.iter().copied().collect();
+
     let mut rotations = 0;
     loop {
-        match try_order(grid, requests, obstacles, &order, config) {
+        match try_order(grid, requests, obstacles, &degraded, &order, config) {
             Ok(mut routes_by_index) => {
                 let routes: Vec<Route> = (0..requests.len())
                     .map(|i| routes_by_index.remove(&i).expect("route planned"))
@@ -361,12 +413,24 @@ pub fn route_serial(
     })
 }
 
+/// The guaranteed emergence footprint of a droplet that has not been
+/// planned yet: whatever route it eventually gets, it occupies `cell`
+/// at tick `depart`. Earlier-planned droplets must keep clear of that
+/// instant or they doom the rest of the priority order.
+#[derive(Debug, Clone, Copy)]
+struct PendingSeed {
+    cell: Cell,
+    depart: u32,
+    merge_group: Option<u32>,
+}
+
 /// Attempts to plan every request in the given order. On failure returns
 /// the *position in `order`* of the request that could not be planned.
 fn try_order(
     grid: &Grid,
     requests: &[RoutingRequest],
     obstacles: &[Obstacle],
+    degraded: &std::collections::HashSet<Cell>,
     order: &[usize],
     config: &RoutingConfig,
 ) -> Result<HashMap<usize, Route>, usize> {
@@ -374,7 +438,15 @@ fn try_order(
     let mut by_index = HashMap::new();
     for (pos, &idx) in order.iter().enumerate() {
         let req = &requests[idx];
-        match astar(grid, req, obstacles, &planned, config) {
+        let pending: Vec<PendingSeed> = order[pos + 1..]
+            .iter()
+            .map(|&j| PendingSeed {
+                cell: requests[j].start,
+                depart: requests[j].depart,
+                merge_group: requests[j].merge_group,
+            })
+            .collect();
+        match astar(grid, req, obstacles, degraded, &planned, &pending, config) {
             Some(route) => {
                 planned.push((route.clone(), req.merge_group));
                 by_index.insert(idx, route);
@@ -400,9 +472,28 @@ fn move_ok(
     next: Cell,
     t: u32,
     planned: &[(Route, Option<u32>)],
+    pending: &[PendingSeed],
     my_group: Option<u32>,
     lookahead: u32,
 ) -> bool {
+    // Not-yet-planned droplets are a certainty at exactly one instant:
+    // their start cell at their depart tick. Violating that instant (or,
+    // under the dynamic rule, the ticks adjacent to it) makes the rest of
+    // the priority order unroutable no matter how it is planned.
+    for p in pending {
+        if my_group.is_some() && p.merge_group == my_group {
+            continue;
+        }
+        let tau = t + 1;
+        let near = if lookahead == 0 {
+            tau == p.depart
+        } else {
+            tau + 1 >= p.depart && tau <= p.depart + 1
+        };
+        if near && next.chebyshev(p.cell) < MIN_SEPARATION {
+            return false;
+        }
+    }
     for (r, group) in planned {
         // Merge partners are exempt from mutual spacing: early contact is
         // an early (intended) merge.
@@ -446,7 +537,9 @@ fn astar(
     grid: &Grid,
     req: &RoutingRequest,
     obstacles: &[Obstacle],
+    degraded: &std::collections::HashSet<Cell>,
     planned: &[(Route, Option<u32>)],
+    pending: &[PendingSeed],
     config: &RoutingConfig,
 ) -> Option<Route> {
     #[derive(PartialEq, Eq)]
@@ -510,6 +603,16 @@ fn astar(
                     None => true,
                 })
             })
+            && pending.iter().all(|p| {
+                if req.merge_group.is_some() && p.merge_group == req.merge_group {
+                    return true;
+                }
+                // Two guaranteed emergences within a tick of each other
+                // must already satisfy the spacing rule.
+                t0 + 1 < p.depart
+                    || p.depart + 1 < t0
+                    || req.start.chebyshev(p.cell) >= MIN_SEPARATION
+            })
     };
     if emergence_legal {
         open.push(Node {
@@ -528,10 +631,16 @@ fn astar(
         if cell == req.goal && t >= req.earliest_arrival.unwrap_or(0) {
             // Reconstruct back to the emergence seed; the route starts on
             // the array at that instant (`Route::depart`), any earlier
-            // time having been spent inside the producer module.
+            // time having been spent inside the producer module. A link
+            // may span two ticks (a dwell on a degraded electrode), in
+            // which case the droplet occupies the destination cell for
+            // every intermediate tick.
             let mut path = vec![cell];
             let mut cur = (cell, t);
             while let Some(&prev) = parent.get(&cur) {
+                for _ in 1..(cur.1 - prev.1) {
+                    path.push(cur.0);
+                }
                 path.push(prev.0);
                 cur = prev;
             }
@@ -549,26 +658,45 @@ fn astar(
         let candidates = std::iter::once(cell).chain(grid.neighbors(cell));
         for next in candidates {
             let h = next.manhattan(req.goal) as u32;
-            if t + 1 + h > horizon {
+            // Actuating a droplet onto a degraded electrode takes two
+            // ticks: it occupies the cell at both t+1 and t+2 (a forced
+            // dwell). Stalling in place costs one tick regardless.
+            let dt = if next != cell && degraded.contains(&next) {
+                2
+            } else {
+                1
+            };
+            if t + dt + h > horizon {
                 continue; // cannot make the deadline from there
             }
-            if blocked(next, t + 1) {
+            if (1..=dt).any(|d| blocked(next, t + d)) {
                 continue;
             }
-            if !move_ok(next, t, planned, req.merge_group, config.lookahead) {
+            // Each occupied tick must clear the planned droplets: the
+            // move-in transition at t, plus (for a dwell) the stay at t+1.
+            if !(0..dt).all(|d| {
+                move_ok(
+                    next,
+                    t + d,
+                    planned,
+                    pending,
+                    req.merge_group,
+                    config.lookahead,
+                )
+            }) {
                 continue;
             }
             let new_moves = moves + u32::from(next != cell);
-            let key = (next, t + 1);
+            let key = (next, t + dt);
             let known = best.get(&key).copied().unwrap_or(u32::MAX);
             if new_moves < known {
                 best.insert(key, new_moves);
                 parent.insert(key, (cell, t));
                 open.push(Node {
-                    f: t + 1 + h,
+                    f: t + dt + h,
                     moves: new_moves,
                     cell: next,
-                    t: t + 1,
+                    t: t + dt,
                 });
             }
         }
@@ -646,16 +774,9 @@ mod tests {
     fn obstacle_blocks_region() {
         let g = grid(8, 8);
         // Permanent wall across columns 2–4 except a gap at the top row.
-        let wall = Obstacle {
-            min: Cell::new(3, 0),
-            max: Cell::new(3, 5),
-            from: 0,
-            until: u32::MAX,
-            tag: 0,
-        };
+        let wall = Obstacle::region(Cell::new(3, 0), Cell::new(3, 5), 0, u32::MAX, 0);
         let req = RoutingRequest::new(0, Cell::new(0, 0), Cell::new(7, 0));
-        let out =
-            route_with_obstacles(&g, &[req], &[wall], &RoutingConfig::default()).unwrap();
+        let out = route_with_obstacles(&g, &[req], &[wall], &RoutingConfig::default()).unwrap();
         // Must detour through the y = 7 gap: longer than Manhattan.
         assert!(out.total_moves > 7, "moves = {}", out.total_moves);
         // Every visited cell avoids the expanded obstacle.
@@ -716,6 +837,67 @@ mod tests {
     }
 
     #[test]
+    fn ringless_obstacle_allows_adjacent_passage() {
+        // A single dead electrode at (2,1): the droplet squeezes past it
+        // through the adjacent row, which a ringed obstacle would forbid.
+        let g = grid(5, 3);
+        let req = RoutingRequest::new(0, Cell::new(0, 1), Cell::new(4, 1));
+        let dead = Obstacle::cell(Cell::new(2, 1), 0, u32::MAX);
+        let out = route_with_obstacles(
+            &g,
+            std::slice::from_ref(&req),
+            &[dead],
+            &RoutingConfig::default(),
+        )
+        .expect("passable next to a ring-less obstacle");
+        assert_eq!(out.total_moves, 6, "2-step detour around the dead cell");
+        assert!(out.routes[0].path.iter().all(|&c| c != Cell::new(2, 1)));
+        // The same geometry with a module-style (ringed) obstacle walls
+        // off the whole corridor.
+        let walled = Obstacle::region(Cell::new(2, 1), Cell::new(2, 1), 0, u32::MAX, 0);
+        assert!(route_with_obstacles(&g, &[req], &[walled], &RoutingConfig::default()).is_err());
+    }
+
+    #[test]
+    fn degraded_cells_cost_a_dwell() {
+        // A full column of degraded electrodes: every path crosses one,
+        // paying a forced dwell (the droplet occupies the slow cell for
+        // two consecutive ticks).
+        let g = grid(5, 3);
+        let degraded = vec![Cell::new(2, 0), Cell::new(2, 1), Cell::new(2, 2)];
+        let req = RoutingRequest::new(0, Cell::new(0, 1), Cell::new(4, 1));
+        let out = route_with_environment(&g, &[req], &[], &degraded, &RoutingConfig::default())
+            .expect("degraded cells are passable");
+        let r = &out.routes[0];
+        assert_eq!(r.moves(), 4, "straight line is still the best path");
+        assert_eq!(r.stalls(), 1, "one forced dwell on the degraded column");
+        assert_eq!(out.makespan, 5);
+        // The dwell shows up as a duplicated degraded cell in the path.
+        let dwell = r
+            .path
+            .windows(2)
+            .any(|w| w[0] == w[1] && degraded.contains(&w[0]));
+        assert!(dwell, "path {:?} has no degraded dwell", r.path);
+        assert!(verify_routes(&out.routes).is_empty());
+    }
+
+    #[test]
+    fn degraded_dwell_respects_other_droplets() {
+        // Two droplets crossing a degraded column stay mutually safe even
+        // with the 2-tick occupancies.
+        let g = grid(9, 9);
+        let degraded: Vec<Cell> = (0..9).map(|y| Cell::new(4, y)).collect();
+        let reqs = vec![
+            RoutingRequest::new(0, Cell::new(0, 2), Cell::new(8, 2)),
+            RoutingRequest::new(1, Cell::new(8, 6), Cell::new(0, 6)),
+        ];
+        let out = route_with_environment(&g, &reqs, &[], &degraded, &RoutingConfig::default())
+            .expect("routable");
+        assert!(verify_routes(&out.routes).is_empty());
+        assert_eq!(out.total_stalls, 2, "one dwell per droplet");
+    }
+
+    #[test]
     fn rotation_counter_reported() {
         let g = grid(6, 6);
         let reqs = vec![
@@ -726,4 +908,3 @@ mod tests {
         assert_eq!(out.rotations, 0, "disjoint rows need no rotation");
     }
 }
-

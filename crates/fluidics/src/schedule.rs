@@ -145,9 +145,27 @@ pub fn schedule(
     library: &ModuleLibrary,
     config: &ScheduleConfig,
 ) -> Result<Schedule, ScheduleError> {
+    schedule_with_keepout(assay, grid, library, config, &[])
+}
+
+/// List-schedules `assay` like [`schedule`], but refuses to place any
+/// module over the `keepout` cells (faulty electrodes a module cannot
+/// actuate). With an empty keepout this is exactly [`schedule`].
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] if a module cannot be placed at all (on the
+/// degraded array) or the array stays congested forever.
+pub fn schedule_with_keepout(
+    assay: &Assay,
+    grid: &Grid,
+    library: &ModuleLibrary,
+    config: &ScheduleConfig,
+    keepout: &[Cell],
+) -> Result<Schedule, ScheduleError> {
     let urgency = urgencies(assay, library);
     let consumers = assay.consumers();
-    let mut placer = Placer::new(*grid);
+    let mut placer = Placer::with_keepout(*grid, keepout.to_vec());
     let mut entries: Vec<Option<ScheduleEntry>> = vec![None; assay.len()];
     let mut remaining_inputs: Vec<usize> =
         assay.operations().iter().map(|o| o.inputs.len()).collect();
@@ -248,12 +266,14 @@ pub fn schedule(
                 }
             }
             if !placed {
-                // Detect a module that can never fit.
+                // Detect a module that can never fit, keepout included.
                 let empty_fits = library.options(&op.kind).iter().any(|spec| {
-                    Placer::new(*grid)
+                    Placer::with_keepout(*grid, keepout.to_vec())
                         .place(*spec, 0, 1)
                         .is_some()
-                        || Placer::new(*grid).place_on_edge(*spec, 0, 1).is_some()
+                        || Placer::with_keepout(*grid, keepout.to_vec())
+                            .place_on_edge(*spec, 0, 1)
+                            .is_some()
                 });
                 if !empty_fits {
                     return Err(ScheduleError::GridTooSmall(id));

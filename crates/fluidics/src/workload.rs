@@ -46,8 +46,7 @@ pub fn random_routing_instance<R: Rng>(
                 workload.droplets
             );
             let c = Cell::new(rng.gen_range(0..side), rng.gen_range(0..side));
-            let safe = cells.iter().all(|&o| c.chebyshev(o) >= 2)
-                && !exclude.contains(&c);
+            let safe = cells.iter().all(|&o| c.chebyshev(o) >= 2) && !exclude.contains(&c);
             if safe {
                 cells.push(c);
             }
@@ -74,17 +73,15 @@ pub fn random_assay<R: Rng>(mixes: usize, rng: &mut R) -> Assay {
     let mut b = Assay::builder();
     // Available droplets: (producer op, remaining outputs).
     let mut available: Vec<OpId> = Vec::new();
-    let take = |available: &mut Vec<OpId>,
-                    b: &mut crate::assay::AssayBuilder,
-                    rng: &mut R|
-     -> OpId {
-        if available.is_empty() || rng.gen_bool(0.4) {
-            b.dispense(&format!("reagent{}", rng.gen_range(0..4)))
-        } else {
-            let k = rng.gen_range(0..available.len());
-            available.swap_remove(k)
-        }
-    };
+    let take =
+        |available: &mut Vec<OpId>, b: &mut crate::assay::AssayBuilder, rng: &mut R| -> OpId {
+            if available.is_empty() || rng.gen_bool(0.4) {
+                b.dispense(&format!("reagent{}", rng.gen_range(0..4)))
+            } else {
+                let k = rng.gen_range(0..available.len());
+                available.swap_remove(k)
+            }
+        };
     for _ in 0..mixes.max(1) {
         let a = take(&mut available, &mut b, rng);
         let c = take(&mut available, &mut b, rng);

@@ -430,7 +430,9 @@ mod tests {
             b = b.gene(&format!("g{i}"));
         }
         for i in 0..30 {
-            b = b.rule(&format!("g{i}"), &format!("g{}", (i + 1) % 30)).unwrap();
+            b = b
+                .rule(&format!("g{i}"), &format!("g{}", (i + 1) % 30))
+                .unwrap();
         }
         let net = b.build().unwrap();
         assert!(matches!(

@@ -256,7 +256,9 @@ fn tokenize(text: &str) -> Result<Vec<Token>, ParseExprError> {
                 }
             }
             other => {
-                return Err(ParseExprError::new(format!("unexpected character '{other}'")));
+                return Err(ParseExprError::new(format!(
+                    "unexpected character '{other}'"
+                )));
             }
         }
     }

@@ -37,9 +37,7 @@ pub enum ParseNetworkError {
 impl fmt::Display for ParseNetworkError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ParseNetworkError::MissingHeader => {
-                f.write_str("missing 'targets, factors' header")
-            }
+            ParseNetworkError::MissingHeader => f.write_str("missing 'targets, factors' header"),
             ParseNetworkError::BadLine { line } => {
                 write!(f, "line {line}: expected 'name, expression'")
             }
@@ -157,7 +155,9 @@ mod tests {
             assert_eq!(back.genes(), net.genes());
             // Behavioural equivalence on sampled states.
             for k in 0..64u64 {
-                let s = State::from_bits(k.wrapping_mul(0x9E37_79B9_7F4A_7C15) & ((1 << net.len()) - 1));
+                let s = State::from_bits(
+                    k.wrapping_mul(0x9E37_79B9_7F4A_7C15) & ((1 << net.len()) - 1),
+                );
                 assert_eq!(back.sync_step(s), net.sync_step(s));
             }
         }

@@ -172,10 +172,26 @@ impl FloralInputs {
     /// (sepal, petal, stamen, carpel).
     pub fn whorls() -> [FloralInputs; 4] {
         [
-            FloralInputs { ft: true, ufo: false, wus: false }, // whorl 1
-            FloralInputs { ft: true, ufo: true, wus: false },  // whorl 2
-            FloralInputs { ft: true, ufo: true, wus: true },   // whorl 3
-            FloralInputs { ft: true, ufo: false, wus: true },  // whorl 4
+            FloralInputs {
+                ft: true,
+                ufo: false,
+                wus: false,
+            }, // whorl 1
+            FloralInputs {
+                ft: true,
+                ufo: true,
+                wus: false,
+            }, // whorl 2
+            FloralInputs {
+                ft: true,
+                ufo: true,
+                wus: true,
+            }, // whorl 3
+            FloralInputs {
+                ft: true,
+                ufo: false,
+                wus: true,
+            }, // whorl 4
         ]
     }
 
@@ -346,15 +362,8 @@ pub fn describe_attractors(net: &BooleanNetwork, attractors: &[Attractor]) -> Ve
     attractors
         .iter()
         .map(|a| {
-            let states: Vec<String> = a
-                .states
-                .iter()
-                .map(|&s| net.describe_state(s))
-                .collect();
-            let basin = a
-                .basin
-                .map(|b| format!(" (basin {b})"))
-                .unwrap_or_default();
+            let states: Vec<String> = a.states.iter().map(|&s| net.describe_state(s)).collect();
+            let basin = a.basin.map(|b| format!(" (basin {b})")).unwrap_or_default();
             format!("period {}{}: {}", a.period(), basin, states.join(" → "))
         })
         .collect()
@@ -387,7 +396,10 @@ mod tests {
             .expect("Th1 exists");
         // Th1: Tbet, SOCS1, IFNg and IFNgR active; GATA3 silent.
         for gene in ["Tbet", "SOCS1", "IFNg", "IFNgR"] {
-            assert!(th1.get(net.gene_index(gene).unwrap()), "{gene} should be on");
+            assert!(
+                th1.get(net.gene_index(gene).unwrap()),
+                "{gene} should be on"
+            );
         }
         assert!(!th1.get(net.gene_index("GATA3").unwrap()));
     }
@@ -401,7 +413,10 @@ mod tests {
             .find(|&&(_, f)| f == ThFate::Th2)
             .expect("Th2 exists");
         for gene in ["GATA3", "IL4", "IL4R", "STAT6", "IL10", "IL10R", "STAT3"] {
-            assert!(th2.get(net.gene_index(gene).unwrap()), "{gene} should be on");
+            assert!(
+                th2.get(net.gene_index(gene).unwrap()),
+                "{gene} should be on"
+            );
         }
         assert!(!th2.get(net.gene_index("Tbet").unwrap()));
     }
@@ -512,7 +527,10 @@ mod tests {
             assert!(g0.get(net.gene_index(gene).unwrap()), "{gene} should be on");
         }
         for gene in ["CycD", "CycE", "CycA", "CycB", "E2F", "Cdc20"] {
-            assert!(!g0.get(net.gene_index(gene).unwrap()), "{gene} should be off");
+            assert!(
+                !g0.get(net.gene_index(gene).unwrap()),
+                "{gene} should be off"
+            );
         }
     }
 

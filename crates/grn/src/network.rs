@@ -455,7 +455,9 @@ mod tests {
     #[test]
     fn perturbation_replaces_rule() {
         let net = toggle_pair();
-        let ko = net.with_perturbation(&Perturbation::knock_out("a")).unwrap();
+        let ko = net
+            .with_perturbation(&Perturbation::knock_out("a"))
+            .unwrap();
         // a stuck at 0: from (0,0) only b can rise.
         assert_eq!(ko.sync_step(State::from_bits(0b00)).bits(), 0b10);
         let oe = net

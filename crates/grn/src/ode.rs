@@ -202,7 +202,10 @@ mod tests {
             let x = sys.embed(State::from_bits(bits));
             let d = sys.derivative(&x);
             for v in d {
-                assert!(v.abs() < 0.1, "derivative {v} too large at Boolean fixed point");
+                assert!(
+                    v.abs() < 0.1,
+                    "derivative {v} too large at Boolean fixed point"
+                );
             }
         }
     }

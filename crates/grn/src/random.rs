@@ -57,10 +57,7 @@ pub fn random_network<R: Rng>(cfg: &RandomNetworkConfig, rng: &mut R) -> Boolean
     }
     let all: Vec<usize> = (0..cfg.genes).collect();
     for i in 0..cfg.genes {
-        let regs: Vec<usize> = all
-            .choose_multiple(rng, cfg.regulators)
-            .copied()
-            .collect();
+        let regs: Vec<usize> = all.choose_multiple(rng, cfg.regulators).copied().collect();
         let rows = 1usize << cfg.regulators;
         let mut minterms = Vec::new();
         for row in 0..rows {

@@ -52,9 +52,7 @@ impl Screen {
     /// Entries whose perturbation left the landscape bit-identical.
     pub fn silent(&self) -> impl Iterator<Item = &ScreenEntry> {
         let wt = self.wild_type.clone();
-        self.entries
-            .iter()
-            .filter(move |e| e.fixed_points == wt)
+        self.entries.iter().filter(move |e| e.fixed_points == wt)
     }
 }
 
@@ -76,10 +74,7 @@ pub enum ScreenKind {
 ///
 /// Propagates [`NetworkError`] from perturbation application (cannot occur
 /// for genes taken from the network itself; kept for API stability).
-pub fn single_gene_screen(
-    net: &BooleanNetwork,
-    kind: ScreenKind,
-) -> Result<Screen, NetworkError> {
+pub fn single_gene_screen(net: &BooleanNetwork, kind: ScreenKind) -> Result<Screen, NetworkError> {
     let mut wild_sym = SymbolicDynamics::new(net);
     let wild_type = wild_sym.fixed_point_states();
 
@@ -108,10 +103,7 @@ pub fn single_gene_screen(
             novel,
         });
     }
-    Ok(Screen {
-        wild_type,
-        entries,
-    })
+    Ok(Screen { wild_type, entries })
 }
 
 #[cfg(test)]
@@ -149,10 +141,7 @@ mod tests {
     fn both_kinds_ordering() {
         let screen = single_gene_screen(&toggle(), ScreenKind::Both).unwrap();
         assert_eq!(screen.entries.len(), 4);
-        assert_eq!(
-            screen.entries[0].perturbation,
-            Perturbation::knock_out("a")
-        );
+        assert_eq!(screen.entries[0].perturbation, Perturbation::knock_out("a"));
         assert_eq!(
             screen.entries[2].perturbation,
             Perturbation::over_express("a")
@@ -178,10 +167,7 @@ mod tests {
         assert_eq!(lost_of("Tbet"), 1);
         assert_eq!(lost_of("NFAT"), 0);
         // The screen separates phenotypic from silent knock-outs.
-        let phenotypic: Vec<&str> = screen
-            .phenotypic()
-            .map(|e| e.perturbation.gene())
-            .collect();
+        let phenotypic: Vec<&str> = screen.phenotypic().map(|e| e.perturbation.gene()).collect();
         assert!(phenotypic.contains(&"GATA3"));
         assert!(phenotypic.contains(&"Tbet"));
         assert!(screen.silent().count() > 0);

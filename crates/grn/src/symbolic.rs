@@ -283,12 +283,7 @@ impl SymbolicDynamics {
         self.preimage_with(set, t)
     }
 
-    fn reach_fix(
-        &mut self,
-        from: Ref,
-        step: fn(&mut Self, Ref) -> Ref,
-        within: Ref,
-    ) -> Ref {
+    fn reach_fix(&mut self, from: Ref, step: fn(&mut Self, Ref) -> Ref, within: Ref) -> Ref {
         let mut current = self.mgr.and(from, within);
         loop {
             let img = step(self, current);
@@ -563,10 +558,7 @@ mod tests {
         let (reach, steps) = sym.reachable(s0);
         let states = sym.states_of(reach);
         // 00 → 11 → 00: the reachable set is {00, 11}.
-        assert_eq!(
-            states,
-            vec![State::from_bits(0b00), State::from_bits(0b11)]
-        );
+        assert_eq!(states, vec![State::from_bits(0b00), State::from_bits(0b11)]);
         assert!(steps <= 2);
     }
 
@@ -695,7 +687,9 @@ mod tests {
             b = b.gene(&format!("g{i}"));
         }
         for i in 0..n {
-            b = b.rule(&format!("g{i}"), &format!("g{}", (i + 1) % n)).unwrap();
+            b = b
+                .rule(&format!("g{i}"), &format!("g{}", (i + 1) % n))
+                .unwrap();
         }
         let net = b.build().unwrap();
         let mut inter = SymbolicDynamics::new(&net);

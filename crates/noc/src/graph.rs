@@ -39,10 +39,7 @@ impl CommGraph {
     /// or has a non-positive rate.
     pub fn new(cores: usize, flows: Vec<Flow>) -> Self {
         for f in &flows {
-            assert!(
-                f.src < cores && f.dst < cores,
-                "flow endpoint out of range"
-            );
+            assert!(f.src < cores && f.dst < cores, "flow endpoint out of range");
             assert!(f.src != f.dst, "self-loop flow");
             assert!(f.rate > 0.0, "flow rate must be positive");
         }

@@ -221,8 +221,7 @@ pub fn compute_routes(topo: &Topology, app: &CommGraph) -> Result<Routes, Routin
         let from = topo.router_of(f.src);
         let to = topo.router_of(f.dst);
         let path = if let Some(order) = &order {
-            updown_path(topo, order, from, to)
-                .ok_or(RoutingError::Disconnected { flow: i })?
+            updown_path(topo, order, from, to).ok_or(RoutingError::Disconnected { flow: i })?
         } else {
             xyz_path(topo, from, to)
         };
@@ -311,10 +310,26 @@ mod tests {
         let topo = Topology::irregular(
             4,
             vec![
-                crate::topology::Link { a: 0, b: 1, class: crate::topology::LinkClass::Planar },
-                crate::topology::Link { a: 1, b: 2, class: crate::topology::LinkClass::Planar },
-                crate::topology::Link { a: 2, b: 3, class: crate::topology::LinkClass::Planar },
-                crate::topology::Link { a: 3, b: 0, class: crate::topology::LinkClass::Planar },
+                crate::topology::Link {
+                    a: 0,
+                    b: 1,
+                    class: crate::topology::LinkClass::Planar,
+                },
+                crate::topology::Link {
+                    a: 1,
+                    b: 2,
+                    class: crate::topology::LinkClass::Planar,
+                },
+                crate::topology::Link {
+                    a: 2,
+                    b: 3,
+                    class: crate::topology::LinkClass::Planar,
+                },
+                crate::topology::Link {
+                    a: 3,
+                    b: 0,
+                    class: crate::topology::LinkClass::Planar,
+                },
             ],
             vec![0, 1, 2, 3],
         );
@@ -329,12 +344,7 @@ mod tests {
     fn cdg_detects_cyclic_route_set() {
         // Four routes turning around a 2×2 mesh cycle in the same
         // direction — the canonical deadlock.
-        let paths = vec![
-            vec![0, 1, 3],
-            vec![1, 3, 2],
-            vec![3, 2, 0],
-            vec![2, 0, 1],
-        ];
+        let paths = vec![vec![0, 1, 3], vec![1, 3, 2], vec![3, 2, 0], vec![2, 0, 1]];
         assert!(!channel_dependencies_acyclic(&paths));
         // Reversing one route breaks the cycle.
         let ok_paths = vec![vec![0, 1, 3], vec![1, 3, 2], vec![3, 2, 0]];
@@ -393,11 +403,7 @@ mod tests {
 
     #[test]
     fn disconnected_reported() {
-        let topo = Topology::irregular(
-            2,
-            vec![],
-            vec![0, 1],
-        );
+        let topo = Topology::irregular(2, vec![], vec![0, 1]);
         let app = CommGraph::pipeline(2, 1.0);
         assert_eq!(
             compute_routes(&topo, &app).unwrap_err(),
@@ -405,4 +411,3 @@ mod tests {
         );
     }
 }
-

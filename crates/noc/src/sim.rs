@@ -235,7 +235,11 @@ pub fn simulate(
         "routes must cover every flow"
     );
     let _ = topo; // topology is implicit in the routes; kept for API symmetry
-    let rates: Vec<f64> = app.flows().iter().map(|f| f.rate * injection_scale).collect();
+    let rates: Vec<f64> = app
+        .flows()
+        .iter()
+        .map(|f| f.rate * injection_scale)
+        .collect();
     let zero_load = (routes.avg_hops.max(1.0)) * f64::from(config.packet_flits + 1);
     let horizon = config.warmup + config.measure;
     let mut model = NocModel {
@@ -258,7 +262,10 @@ pub fn simulate(
     }
     // Run to the horizon, then let in-flight packets drain (bounded).
     engine.run_until(&mut model, SimTime::from_ticks(horizon));
-    engine.run_until(&mut model, SimTime::from_ticks(horizon + 64 * zero_load as u64 + 10_000));
+    engine.run_until(
+        &mut model,
+        SimTime::from_ticks(horizon + 64 * zero_load as u64 + 10_000),
+    );
 
     let delivered_ratio = if model.offered == 0 {
         1.0
@@ -294,10 +301,7 @@ mod tests {
     use super::*;
     use crate::routing::compute_routes;
 
-    fn setup(
-        topo: &Topology,
-        app: &CommGraph,
-    ) -> Routes {
+    fn setup(topo: &Topology, app: &CommGraph) -> Routes {
         compute_routes(topo, app).expect("routable")
     }
 

@@ -254,7 +254,11 @@ pub fn synthesize(app: &CommGraph, config: &SynthesisConfig) -> Topology {
     };
     let all: Vec<usize> = (0..app.cores()).collect();
     builder.build(&all);
-    let mut topo = Topology::irregular(builder.next_router, builder.links.clone(), builder.attachment.clone());
+    let mut topo = Topology::irregular(
+        builder.next_router,
+        builder.links.clone(),
+        builder.attachment.clone(),
+    );
 
     // Shortcut insertion: heaviest flows whose attachment routers are far
     // apart in the tree get a direct link, within the degree budget.
@@ -295,10 +299,7 @@ pub fn synthesize(app: &CommGraph, config: &SynthesisConfig) -> Topology {
         if degree[a] + 1 > config.max_degree || degree[b] + 1 > config.max_degree {
             continue;
         }
-        if links
-            .iter()
-            .any(|l| (l.a.min(l.b), l.a.max(l.b)) == (a, b))
-        {
+        if links.iter().any(|l| (l.a.min(l.b), l.a.max(l.b)) == (a, b)) {
             continue;
         }
         links.push(Link {
@@ -362,7 +363,10 @@ mod tests {
         // One side should hold {0..4}, the other {4..8}.
         let mut l = left.clone();
         l.sort_unstable();
-        assert!(l == vec![0, 1, 2, 3] || l == vec![4, 5, 6, 7], "left {l:?} right {right:?}");
+        assert!(
+            l == vec![0, 1, 2, 3] || l == vec![4, 5, 6, 7],
+            "left {l:?} right {right:?}"
+        );
     }
 
     #[test]

@@ -67,10 +67,7 @@ impl Topology {
             assert!(l.a < routers && l.b < routers, "link endpoint out of range");
             assert!(l.a != l.b, "self-loop link");
             let key = (l.a.min(l.b), l.a.max(l.b));
-            assert!(
-                seen.insert(key, ()).is_none(),
-                "duplicate link {key:?}"
-            );
+            assert!(seen.insert(key, ()).is_none(), "duplicate link {key:?}");
             adjacency[l.a].push((l.b, l.class));
             adjacency[l.b].push((l.a, l.class));
         }

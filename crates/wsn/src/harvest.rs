@@ -150,8 +150,7 @@ pub fn simulate_harvesting(policy: DutyPolicy, config: &HarvestConfig) -> Harves
     assert!(config.slot > 0.0, "slot must be positive");
     assert!(config.days > 0, "need at least one day");
 
-    let total_slots =
-        ((config.days as f64 * config.solar.day_length / config.slot) as u64).max(1);
+    let total_slots = ((config.days as f64 * config.solar.day_length / config.slot) as u64).max(1);
     let mut battery = config.battery_capacity * config.initial_fraction.clamp(0.0, 1.0);
     let mut ewma = 0.0f64;
     let mut work = 0.0;
@@ -198,8 +197,7 @@ pub fn simulate_harvesting(policy: DutyPolicy, config: &HarvestConfig) -> Harves
             battery = config.battery_capacity;
         }
 
-        let demand =
-            (duty * config.active_power + (1.0 - duty) * config.sleep_power) * config.slot;
+        let demand = (duty * config.active_power + (1.0 - duty) * config.sleep_power) * config.slot;
         let sleep_only = config.sleep_power * config.slot;
         if battery >= demand {
             battery -= demand;
@@ -304,10 +302,7 @@ mod tests {
             ..HarvestConfig::default()
         };
         let s = simulate_harvesting(DutyPolicy::Fixed(0.5), &cfg);
-        assert_eq!(
-            s.total_slots,
-            (5.0 * 86_400.0 / 600.0) as u64
-        );
+        assert_eq!(s.total_slots, (5.0 * 86_400.0 / 600.0) as u64);
         assert!(s.work <= s.total_slots as f64 * cfg.slot);
         assert!((0.0..=1.0).contains(&s.uptime));
         assert!(s.min_battery >= 0.0);

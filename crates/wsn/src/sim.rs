@@ -73,7 +73,11 @@ pub struct LifetimeStats {
 }
 
 /// Runs the round-based lifetime simulation.
-pub fn simulate_lifetime(field: &Field, protocol: Protocol, config: &LifetimeConfig) -> LifetimeStats {
+pub fn simulate_lifetime(
+    field: &Field,
+    protocol: Protocol,
+    config: &LifetimeConfig,
+) -> LifetimeStats {
     let n = field.nodes();
     let mut battery = vec![config.initial_energy; n];
     let mut failed = vec![false; n];
@@ -83,7 +87,8 @@ pub fn simulate_lifetime(field: &Field, protocol: Protocol, config: &LifetimeCon
     // Cached BFS routing tree for the Tree protocol, rebuilt only when
     // the live set changes (tree construction is O(live²) distance
     // checks — the hot spot of long runs).
-    let mut tree_cache: Option<(Vec<usize>, Vec<Option<usize>>, Vec<u64>, Vec<usize>)> = None;
+    type TreeCache = (Vec<usize>, Vec<Option<usize>>, Vec<u64>, Vec<usize>);
+    let mut tree_cache: Option<TreeCache> = None;
 
     let mut first_death = None;
     let mut half_death = None;
@@ -94,8 +99,7 @@ pub fn simulate_lifetime(field: &Field, protocol: Protocol, config: &LifetimeCon
     let mut energy_spent = 0.0;
     let mut round = 0u64;
 
-    let alive =
-        |battery: &[f64], failed: &[bool], i: usize| battery[i] > 0.0 && !failed[i];
+    let alive = |battery: &[f64], failed: &[bool], i: usize| battery[i] > 0.0 && !failed[i];
 
     while round < config.max_rounds {
         // Exogenous failures.
@@ -150,15 +154,13 @@ pub fn simulate_lifetime(field: &Field, protocol: Protocol, config: &LifetimeCon
                         }
                     }
                     let mut order = frontier.clone();
-                    let mut visited: Vec<bool> =
-                        depth.iter().map(|&d| d != u64::MAX).collect();
+                    let mut visited: Vec<bool> = depth.iter().map(|&d| d != u64::MAX).collect();
                     while !frontier.is_empty() {
                         let mut next = Vec::new();
                         for &p in &frontier {
                             for &c in &live {
                                 if !visited[c]
-                                    && field.position(c).distance(field.position(p))
-                                        <= radio_range
+                                    && field.position(c).distance(field.position(p)) <= radio_range
                                 {
                                     visited[c] = true;
                                     depth[c] = depth[p] + 1;
@@ -289,7 +291,10 @@ pub fn simulate_lifetime(field: &Field, protocol: Protocol, config: &LifetimeCon
         }
         for i in 0..n {
             if spend[i] > 0.0 {
-                energy_spent += spend[i];
+                // A node can only draw the charge it actually holds: in its
+                // death round the radio bill is truncated by the battery
+                // running dry, so total spend never exceeds total capacity.
+                energy_spent += spend[i].min(battery[i].max(0.0));
                 battery[i] -= spend[i];
             }
         }
@@ -384,7 +389,11 @@ mod tests {
             ..LifetimeConfig::default()
         };
         let stats = simulate_lifetime(&f, Protocol::tree(45.0, true), &cfg);
-        assert!(stats.delivered_ratio > 0.5, "ratio {}", stats.delivered_ratio);
+        assert!(
+            stats.delivered_ratio > 0.5,
+            "ratio {}",
+            stats.delivered_ratio
+        );
     }
 
     #[test]

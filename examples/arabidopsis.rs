@@ -34,7 +34,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut t = Table::new(
         "flower",
         "fixed-point organ repertoire per whorl",
-        &["whorl", "wild type", "ap3 knock-out", "ag knock-out", "lfy knock-out"],
+        &[
+            "whorl",
+            "wild type",
+            "ap3 knock-out",
+            "ag knock-out",
+            "lfy knock-out",
+        ],
     );
     for (name, w) in whorl_names.iter().zip(whorls) {
         t.row_owned(vec![

@@ -77,7 +77,13 @@ fn main() {
     let mut h = Table::new(
         "harvest",
         "30 days on solar harvesting — management policies",
-        &["policy", "uptime %", "useful work (h)", "dead slots", "wasted (J)"],
+        &[
+            "policy",
+            "uptime %",
+            "useful work (h)",
+            "dead slots",
+            "wasted (J)",
+        ],
     );
     let policies = [
         DutyPolicy::Fixed(0.9),

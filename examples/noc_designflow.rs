@@ -61,7 +61,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut e = Table::new(
         "dse",
         "synthesis design space (Pareto-optimal rows marked *)",
-        &["cluster", "shortcuts", "weighted hops", "energy/flit", "area"],
+        &[
+            "cluster",
+            "shortcuts",
+            "weighted hops",
+            "energy/flit",
+            "area",
+        ],
     );
     for (i, p) in points.iter().enumerate() {
         let mark = if front.contains(&i) { "*" } else { "" };

@@ -64,10 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Whole-network knock-out screen: which of the 23 genes are
     // phenotypic (change the steady-state landscape) at all?
     let screen = single_gene_screen(&wild, ScreenKind::KnockOuts)?;
-    let phenotypic: Vec<&str> = screen
-        .phenotypic()
-        .map(|e| e.perturbation.gene())
-        .collect();
+    let phenotypic: Vec<&str> = screen.phenotypic().map(|e| e.perturbation.gene()).collect();
     println!(
         "knock-out screen: {} of {} genes are phenotypic: {}\n",
         phenotypic.len(),

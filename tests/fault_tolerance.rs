@@ -1,0 +1,70 @@
+//! Acceptance test for fault-tolerant recompilation: a standard array
+//! with 5% dead electrodes must still compile the multiplexed immunoassay
+//! for at least 90% of fault maps, without blowing up the makespan.
+
+use micronano::fluidics::assay::multiplex_immunoassay;
+use micronano::fluidics::compiler::{compile, CompilerConfig};
+use micronano::fluidics::geometry::Grid;
+use micronano::fluidics::{compile_with_faults, FaultConfig, FaultModel};
+
+#[test]
+fn five_percent_dead_recovers_on_ninety_percent_of_seeds() {
+    let cfg = CompilerConfig::default();
+    let grid = Grid::new(cfg.grid_width, cfg.grid_height).expect("valid grid");
+    let assay = multiplex_immunoassay(4);
+    let baseline = compile(&assay, &cfg).expect("fault-free compile").stats;
+
+    let mut successes = 0u32;
+    let mut worst_ratio = 0.0f64;
+    for seed in 0..20u64 {
+        let model = FaultModel::generate(&FaultConfig::dead(seed, 0.05), &grid);
+        assert!(
+            !model.dead_cells().is_empty(),
+            "5% of a standard grid is > 0"
+        );
+        let Ok(compiled) = compile_with_faults(&assay, &cfg, &model) else {
+            continue;
+        };
+        // A recovered compile avoids every dead electrode (the compiler
+        // itself rejects fluidically unsafe routes).
+        for route in &compiled.routes {
+            assert!(
+                route.path.iter().all(|c| !model.is_dead(*c)),
+                "seed {seed}: route {} touches a dead electrode",
+                route.id
+            );
+        }
+        let ratio = f64::from(compiled.stats.makespan) / f64::from(baseline.makespan);
+        worst_ratio = worst_ratio.max(ratio);
+        assert!(
+            ratio <= 2.0,
+            "seed {seed}: faulty makespan {} > 2x baseline {}",
+            compiled.stats.makespan,
+            baseline.makespan
+        );
+        successes += 1;
+    }
+    assert!(
+        successes >= 18,
+        "only {successes}/20 fault maps recovered (worst makespan ratio {worst_ratio:.2})"
+    );
+}
+
+#[test]
+fn degraded_electrodes_slow_but_never_break_compiles() {
+    let cfg = CompilerConfig::default();
+    let grid = Grid::new(cfg.grid_width, cfg.grid_height).expect("valid grid");
+    let assay = multiplex_immunoassay(4);
+    for seed in 0..10u64 {
+        let fc = FaultConfig {
+            seed,
+            degraded_fraction: 0.10,
+            ..FaultConfig::default()
+        };
+        let model = FaultModel::generate(&fc, &grid);
+        let compiled =
+            compile_with_faults(&assay, &cfg, &model).expect("degraded-only arrays always compile");
+        assert!(compiled.stats.forced_stalls <= compiled.stats.route_stalls);
+        assert_eq!(compiled.stats.abandoned, 0);
+    }
+}

@@ -2,9 +2,14 @@
 //! generator produces, concurrent routes must be fluidically safe and
 //! never slower than the serial baseline by construction of the metric.
 
+use micronano::fluidics::assay::multiplex_immunoassay;
+use micronano::fluidics::compiler::CompilerConfig;
 use micronano::fluidics::constraints::verify_routes;
+use micronano::fluidics::geometry::Grid;
 use micronano::fluidics::workload::{random_routing_instance, RoutingWorkload};
-use micronano::fluidics::{route_concurrent, route_serial, RoutingConfig};
+use micronano::fluidics::{
+    compile_with_faults, route_concurrent, route_serial, FaultConfig, FaultModel, RoutingConfig,
+};
 use proptest::prelude::*;
 use rand::SeedableRng;
 
@@ -71,6 +76,63 @@ proptest! {
                 prop_assert!(w[0].manhattan(w[1]) <= 1);
                 prop_assert!(grid.contains(w[1]));
             }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn no_route_occupies_a_dead_electrode(
+        seed in 0u64..100_000,
+        dead_pct in 1u32..8,
+        plex in 2usize..5,
+    ) {
+        let cfg = CompilerConfig::default();
+        let grid = Grid::new(cfg.grid_width, cfg.grid_height).expect("valid grid");
+        let fc = FaultConfig::dead(seed, f64::from(dead_pct) / 100.0);
+        let model = FaultModel::generate(&fc, &grid);
+        // Heavily damaged arrays may legitimately be uncompilable; the
+        // property binds whatever routes do come out.
+        if let Ok(compiled) = compile_with_faults(&multiplex_immunoassay(plex), &cfg, &model) {
+            for route in &compiled.routes {
+                for cell in &route.path {
+                    prop_assert!(
+                        !model.is_dead(*cell),
+                        "route {} occupies dead electrode {cell}",
+                        route.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_fault_seed_gives_identical_stats(
+        seed in 0u64..100_000,
+        plex in 2usize..5,
+    ) {
+        let cfg = CompilerConfig::default();
+        let grid = Grid::new(cfg.grid_width, cfg.grid_height).expect("valid grid");
+        let fc = FaultConfig {
+            seed,
+            dead_fraction: 0.04,
+            degraded_fraction: 0.04,
+            transient_count: 1,
+            ..FaultConfig::default()
+        };
+        let assay = multiplex_immunoassay(plex);
+        let a = compile_with_faults(&assay, &cfg, &FaultModel::generate(&fc, &grid));
+        let b = compile_with_faults(&assay, &cfg, &FaultModel::generate(&fc, &grid));
+        match (a, b) {
+            (Ok(a), Ok(b)) => {
+                // Byte-identical replay: stats and routes match exactly.
+                prop_assert_eq!(format!("{:?}", a.stats), format!("{:?}", b.stats));
+                prop_assert_eq!(a.routes, b.routes);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+            _ => prop_assert!(false, "same seed diverged between Ok and Err"),
         }
     }
 }

@@ -1,0 +1,299 @@
+//! Distributions: `Standard`, `Bernoulli` and the uniform range
+//! samplers, all mirroring rand 0.8.5 semantics.
+
+use crate::Rng;
+
+/// Types that can produce values of `T` from a generator.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+
+    /// Turns the distribution plus a generator into an iterator.
+    fn sample_iter<R>(self, rng: R) -> DistIter<Self, R, T>
+    where
+        R: Rng,
+        Self: Sized,
+    {
+        DistIter {
+            distr: self,
+            rng,
+            phantom: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Iterator of samples returned by [`Distribution::sample_iter`].
+#[derive(Debug)]
+pub struct DistIter<D, R, T> {
+    distr: D,
+    rng: R,
+    phantom: std::marker::PhantomData<T>,
+}
+
+impl<D: Distribution<T>, R: Rng, T> Iterator for DistIter<D, R, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        Some(self.distr.sample(&mut self.rng))
+    }
+}
+
+/// The "natural" distribution of each primitive type: full range for
+/// integers, `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_uint_from_u32 {
+    ($($ty:ty),*) => {$(
+        impl Distribution<$ty> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.next_u32() as $ty
+            }
+        }
+    )*};
+}
+standard_uint_from_u32!(u8, u16, u32);
+
+macro_rules! standard_uint_from_u64 {
+    ($($ty:ty),*) => {$(
+        impl Distribution<$ty> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+standard_uint_from_u64!(u64, usize, u128);
+
+macro_rules! standard_int_via_uint {
+    ($($ty:ty => $via:ty),*) => {$(
+        impl Distribution<$ty> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $ty {
+                let v: $via = Standard.sample(rng);
+                v as $ty
+            }
+        }
+    )*};
+}
+standard_int_via_uint!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize, i128 => u128);
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        // Upstream compares the most significant bit of a u32.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53-bit multiply-based conversion, as in rand 0.8.
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / ((1u64 << 53) as f64))
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / ((1u32 << 24) as f32))
+    }
+}
+
+/// A boolean distribution returning `true` with probability `p`.
+#[derive(Debug, Clone, Copy)]
+pub struct Bernoulli {
+    p_int: u64,
+    always_true: bool,
+}
+
+/// Error for a probability outside `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BernoulliError;
+
+impl std::fmt::Display for BernoulliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bernoulli probability outside [0, 1]")
+    }
+}
+
+impl std::error::Error for BernoulliError {}
+
+impl Bernoulli {
+    /// Creates the distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BernoulliError`] unless `0.0 <= p <= 1.0`.
+    pub fn new(p: f64) -> Result<Bernoulli, BernoulliError> {
+        if !(0.0..1.0).contains(&p) {
+            if p == 1.0 {
+                return Ok(Bernoulli {
+                    p_int: u64::MAX,
+                    always_true: true,
+                });
+            }
+            return Err(BernoulliError);
+        }
+        // p * 2^64, exactly as upstream.
+        let p_int = (p * (u64::MAX as f64 + 1.0)) as u64;
+        Ok(Bernoulli {
+            p_int,
+            always_true: false,
+        })
+    }
+}
+
+impl Distribution<bool> for Bernoulli {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        if self.always_true {
+            return true;
+        }
+        rng.next_u64() < self.p_int
+    }
+}
+
+pub mod uniform {
+    //! Uniform range sampling with rand 0.8's single-shot algorithms.
+
+    use super::Standard;
+    use crate::distributions::Distribution;
+    use crate::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Marker for types [`Rng::gen_range`] accepts.
+    pub trait SampleUniform: Sized {
+        /// Samples uniformly from `[low, high)`.
+        fn sample_single<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+
+        /// Samples uniformly from `[low, high]`.
+        fn sample_single_inclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    }
+
+    /// Range argument of [`Rng::gen_range`].
+    pub trait SampleRange<T> {
+        /// Draws one sample from the range.
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "cannot sample empty range");
+            T::sample_single(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            let (start, end) = self.into_inner();
+            assert!(start <= end, "cannot sample empty range");
+            T::sample_single_inclusive(start, end, rng)
+        }
+    }
+
+    /// 64×64→128 widening multiply.
+    fn wmul64(a: u64, b: u64) -> (u64, u64) {
+        let wide = (a as u128) * (b as u128);
+        ((wide >> 64) as u64, wide as u64)
+    }
+
+    /// 32×32→64 widening multiply.
+    fn wmul32(a: u32, b: u32) -> (u32, u32) {
+        let wide = (a as u64) * (b as u64);
+        ((wide >> 32) as u32, wide as u32)
+    }
+
+    macro_rules! uniform_int_impl {
+        ($ty:ty, $uty:ty, $wmul:ident) => {
+            impl SampleUniform for $ty {
+                fn sample_single<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    let range = high.wrapping_sub(low) as $uty;
+                    // Lemire-style rejection zone, as in rand 0.8's
+                    // `sample_single` for wide unsigned types.
+                    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                    loop {
+                        let v: $uty = Standard.sample(rng);
+                        let (hi, lo) = $wmul(v, range);
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+
+                fn sample_single_inclusive<R: Rng + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    let range = (high.wrapping_sub(low) as $uty).wrapping_add(1);
+                    if range == 0 {
+                        // The whole type range: any value is in bounds.
+                        return Standard.sample(rng);
+                    }
+                    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                    loop {
+                        let v: $uty = Standard.sample(rng);
+                        let (hi, lo) = $wmul(v, range);
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    uniform_int_impl!(u8, u32, wmul32);
+    uniform_int_impl!(u16, u32, wmul32);
+    uniform_int_impl!(u32, u32, wmul32);
+    uniform_int_impl!(u64, u64, wmul64);
+    uniform_int_impl!(usize, u64, wmul64);
+    uniform_int_impl!(i8, u32, wmul32);
+    uniform_int_impl!(i16, u32, wmul32);
+    uniform_int_impl!(i32, u32, wmul32);
+    uniform_int_impl!(i64, u64, wmul64);
+    uniform_int_impl!(isize, u64, wmul64);
+
+    macro_rules! uniform_float_impl {
+        ($ty:ty, $uty:ty, $bits_to_discard:expr, $mantissa_bits:expr, $exponent_bias:expr) => {
+            impl SampleUniform for $ty {
+                fn sample_single<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    let scale = high - low;
+                    loop {
+                        // A mantissa-filled value in [1, 2), as upstream.
+                        let fraction: $uty = {
+                            let v: $uty = Standard.sample(rng);
+                            v >> $bits_to_discard
+                        };
+                        let value1_2 =
+                            <$ty>::from_bits(($exponent_bias << $mantissa_bits) | fraction);
+                        let value0_1 = value1_2 - 1.0;
+                        let res = value0_1 * scale + low;
+                        if res < high {
+                            return res;
+                        }
+                    }
+                }
+
+                fn sample_single_inclusive<R: Rng + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    let scale = high - low;
+                    let fraction: $uty = {
+                        let v: $uty = Standard.sample(rng);
+                        v >> $bits_to_discard
+                    };
+                    let value1_2 = <$ty>::from_bits(($exponent_bias << $mantissa_bits) | fraction);
+                    let value0_1 = value1_2 - 1.0;
+                    // The scale multiply may round up to `high`, which the
+                    // inclusive variant accepts.
+                    (value0_1 * scale + low).min(high)
+                }
+            }
+        };
+    }
+
+    uniform_float_impl!(f64, u64, 12, 52, 1023u64);
+    uniform_float_impl!(f32, u32, 9, 23, 127u32);
+}

@@ -1,0 +1,100 @@
+//! Sequence-related helpers: the [`SliceRandom`] extension trait.
+
+use crate::Rng;
+
+/// Uniform index into `0..ubound`, using a 32-bit draw for small bounds
+/// exactly like rand 0.8's `gen_index`.
+fn gen_index<R: Rng + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+    if ubound <= u32::MAX as usize {
+        rng.gen_range(0..ubound as u32) as usize
+    } else {
+        rng.gen_range(0..ubound)
+    }
+}
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Uniformly chooses one element, or `None` if the slice is empty.
+    fn choose<R>(&self, rng: &mut R) -> Option<&Self::Item>
+    where
+        R: Rng + ?Sized;
+
+    /// Uniformly chooses `amount` distinct elements (all of them when the
+    /// slice is shorter), returned in selection order.
+    fn choose_multiple<R>(&self, rng: &mut R, amount: usize) -> SliceChooseIter<'_, Self::Item>
+    where
+        R: Rng + ?Sized;
+
+    /// Shuffles the slice in place (Fisher–Yates from the back, as
+    /// upstream).
+    fn shuffle<R>(&mut self, rng: &mut R)
+    where
+        R: Rng + ?Sized;
+}
+
+/// Iterator over elements selected by [`SliceRandom::choose_multiple`].
+#[derive(Debug)]
+pub struct SliceChooseIter<'a, T> {
+    slice: &'a [T],
+    indices: std::vec::IntoIter<usize>,
+}
+
+impl<'a, T> Iterator for SliceChooseIter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        self.indices.next().map(|i| &self.slice[i])
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.indices.size_hint()
+    }
+}
+
+impl<'a, T> ExactSizeIterator for SliceChooseIter<'a, T> {}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R>(&self, rng: &mut R) -> Option<&T>
+    where
+        R: Rng + ?Sized,
+    {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(gen_index(rng, self.len()))
+        }
+    }
+
+    fn choose_multiple<R>(&self, rng: &mut R, amount: usize) -> SliceChooseIter<'_, T>
+    where
+        R: Rng + ?Sized,
+    {
+        let amount = amount.min(self.len());
+        // Partial Fisher–Yates over an index vector (rand's
+        // `sample_inplace`).
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        for i in 0..amount {
+            let j = gen_index(rng, self.len() - i) + i;
+            indices.swap(i, j);
+        }
+        indices.truncate(amount);
+        SliceChooseIter {
+            slice: self,
+            indices: indices.into_iter(),
+        }
+    }
+
+    fn shuffle<R>(&mut self, rng: &mut R)
+    where
+        R: Rng + ?Sized,
+    {
+        for i in (1..self.len()).rev() {
+            self.swap(i, gen_index(rng, i + 1));
+        }
+    }
+}
