@@ -44,6 +44,7 @@ fn main() {
         ("E11", experiments::e11_crossbar),
         ("A1", experiments::a1_dd_cache),
         ("A4", experiments::a4_variable_order),
+        ("A5", experiments::a5_parallel_runner),
     ];
 
     println!("# micronano experiment reproduction (seed {seed})\n");

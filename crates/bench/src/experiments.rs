@@ -9,8 +9,9 @@ use mns_bicluster::zdd_miner::{enumerate_maximal, MinerConfig};
 use mns_biosensor::array::{SensorArray, SensorConfig};
 use mns_biosensor::expression::{generate, SyntheticDatasetConfig};
 use mns_biosensor::kinetics::BindingKinetics;
-use mns_core::explore::explore_noc;
+use mns_core::explore::explore_noc_parallel;
 use mns_core::report::{fmt_f64, Table};
+use mns_core::runner::{default_workers, run_scenarios, NocScenario, Runner, Scenario};
 use mns_crossbar::mapping::mapping_yield;
 use mns_fluidics::assay::multiplex_immunoassay;
 use mns_fluidics::compiler::{compile, CompilerConfig};
@@ -542,9 +543,10 @@ pub fn e7_noc_synthesis(seed: u64) -> Vec<Table> {
         }
     }
 
-    // Pareto exploration summary.
+    // Pareto exploration summary, on the parallel scenario engine (the
+    // conformance suite pins this to the serial result).
     let app = CommGraph::hotspot(16, 1.0);
-    let (points, front) = explore_noc(&app, &[2, 3, 4, 8], &[0, 2, 4, 8]);
+    let (points, front) = explore_noc_parallel(&app, &[2, 3, 4, 8], &[0, 2, 4, 8], 0);
     let mut p = Table::new(
         "E7b",
         "design-space exploration (16-core hotspot): Pareto front size",
@@ -861,6 +863,81 @@ pub fn a4_variable_order(seed: u64) -> Vec<Table> {
     vec![t]
 }
 
+/// A5: the deterministic parallel experiment engine — wall-clock scaling
+/// of the NoC exploration sweep over worker counts, the byte-identical
+/// check against the serial reference, and fingerprint-cache reuse.
+pub fn a5_parallel_runner(seed: u64) -> Vec<Table> {
+    let _ = seed; // NoC synthesis is deterministic; nothing to seed.
+
+    // A larger sweep than E7b so the parallel win is measurable.
+    let app = CommGraph::hotspot(25, 1.0);
+    let mut scenarios = Vec::new();
+    for &max_cluster in &[2usize, 3, 4, 5, 6, 8] {
+        for &shortcuts in &[0usize, 2, 4, 6, 8] {
+            scenarios.push(Scenario::NocPoint(NocScenario {
+                app: app.clone(),
+                max_cluster,
+                shortcuts,
+            }));
+        }
+    }
+
+    // Speedup is bounded by the host: on a single-core container every
+    // worker count collapses to ~1×, so the table records how many cores
+    // were actually available next to each measurement.
+    let cores = default_workers();
+    let mut t = Table::new(
+        "A5",
+        &format!(
+            "scenario engine scaling on the NoC sweep \
+             (25-core hotspot, 30 points, {cores} host core(s))"
+        ),
+        &["workers", "time ms", "speedup", "identical to serial"],
+    );
+    let start = Instant::now();
+    let reference = run_scenarios(&scenarios, 1);
+    let serial_ms = ms(start);
+    t.row_owned(vec![
+        "1".into(),
+        fmt_f64(serial_ms),
+        fmt_f64(1.0),
+        "yes (reference)".into(),
+    ]);
+    for workers in [2, 4, cores] {
+        let start = Instant::now();
+        let out = run_scenarios(&scenarios, workers);
+        let par_ms = ms(start);
+        t.row_owned(vec![
+            workers.to_string(),
+            fmt_f64(par_ms),
+            fmt_f64(serial_ms / par_ms.max(1e-9)),
+            if out == reference { "yes" } else { "NO" }.into(),
+        ]);
+    }
+
+    let mut c = Table::new(
+        "A5b",
+        "fingerprint cache across repeated sweeps",
+        &["pass", "time ms", "executed", "cache hits"],
+    );
+    let mut runner = Runner::with_workers(cores);
+    for pass in 1..=2 {
+        let before = runner.stats();
+        let start = Instant::now();
+        let out = runner.run_batch(&scenarios);
+        let elapsed = ms(start);
+        assert_eq!(out, reference, "cached pass must match the reference");
+        let after = runner.stats();
+        c.row_owned(vec![
+            pass.to_string(),
+            fmt_f64(elapsed),
+            (after.executed - before.executed).to_string(),
+            (after.cache_hits - before.cache_hits).to_string(),
+        ]);
+    }
+    vec![t, c]
+}
+
 /// Runs every experiment, returning all tables in order.
 pub fn run_all(seed: u64) -> Vec<Table> {
     let mut out = Vec::new();
@@ -877,6 +954,7 @@ pub fn run_all(seed: u64) -> Vec<Table> {
     out.extend(e11_crossbar(seed));
     out.extend(a1_dd_cache(seed));
     out.extend(a4_variable_order(seed));
+    out.extend(a5_parallel_runner(seed));
     out
 }
 

@@ -7,19 +7,31 @@
 //! space; the Pareto filter itself is generic and reused by benches.
 
 use mns_noc::graph::CommGraph;
-use mns_noc::power::{area_proxy, PowerModel};
-use mns_noc::routing::compute_routes;
-use mns_noc::synthesis::{synthesize, SynthesisConfig};
+
+use crate::runner::{run_scenarios, NocScenario, Scenario, ScenarioOutcome};
 
 /// Indices of the Pareto-optimal (non-dominated, minimizing) points.
 ///
 /// A point dominates another if it is no worse in every objective and
 /// strictly better in at least one.
 ///
+/// # NaN and infinity policy
+///
+/// A point containing a NaN objective is **invalid**: it never appears in
+/// the front and never dominates anything (an unmeasured objective cannot
+/// beat a measured one). Infinite objectives are valid and compare by the
+/// usual IEEE order, so `-inf` is unbeatable and `+inf` loses to every
+/// finite value; an all-`+inf` point still makes the front if nothing
+/// dominates it.
+///
 /// ```
 /// use mns_core::explore::pareto_front;
 /// let pts = vec![vec![1.0, 4.0], vec![2.0, 2.0], vec![3.0, 3.0]];
 /// assert_eq!(pareto_front(&pts), vec![0, 1]); // point 2 is dominated
+///
+/// // NaN points are excluded and cannot shadow valid points.
+/// let pts = vec![vec![f64::NAN, 0.0], vec![2.0, 2.0]];
+/// assert_eq!(pareto_front(&pts), vec![1]);
 /// ```
 ///
 /// # Panics
@@ -33,15 +45,17 @@ pub fn pareto_front(points: &[Vec<f64>]) -> Vec<usize> {
     for p in points {
         assert_eq!(p.len(), dim, "inconsistent objective dimensionality");
     }
+    let valid = |p: &[f64]| p.iter().all(|x| !x.is_nan());
     let dominates = |a: &[f64], b: &[f64]| {
-        a.iter().zip(b).all(|(x, y)| x <= y) && a.iter().zip(b).any(|(x, y)| x < y)
+        valid(a) && a.iter().zip(b).all(|(x, y)| x <= y) && a.iter().zip(b).any(|(x, y)| x < y)
     };
     (0..points.len())
         .filter(|&i| {
-            !points
-                .iter()
-                .enumerate()
-                .any(|(j, p)| j != i && dominates(p, &points[i]))
+            valid(&points[i])
+                && !points
+                    .iter()
+                    .enumerate()
+                    .any(|(j, p)| j != i && dominates(p, &points[i]))
         })
         .collect()
 }
@@ -65,36 +79,64 @@ pub struct NocDesignPoint {
 
 /// Sweeps topology-synthesis parameters for one application and returns
 /// every evaluated point plus the indices of the latency/energy/area
-/// Pareto front.
+/// Pareto front. Serial shorthand for [`explore_noc_parallel`] with one
+/// worker.
 pub fn explore_noc(
     app: &CommGraph,
     cluster_sizes: &[usize],
     shortcut_budgets: &[usize],
 ) -> (Vec<NocDesignPoint>, Vec<usize>) {
-    let pm = PowerModel::default();
-    let mut points = Vec::new();
+    explore_noc_parallel(app, cluster_sizes, shortcut_budgets, 1)
+}
+
+/// [`explore_noc`] on the scenario engine: every `(cluster, shortcuts)`
+/// design point becomes a [`Scenario::NocPoint`] evaluated across
+/// `workers` threads (0 = one per hardware thread). The conformance
+/// contract guarantees the result is byte-identical for every worker
+/// count; infeasible points (no route set) are dropped, matching the
+/// serial sweep.
+pub fn explore_noc_parallel(
+    app: &CommGraph,
+    cluster_sizes: &[usize],
+    shortcut_budgets: &[usize],
+    workers: usize,
+) -> (Vec<NocDesignPoint>, Vec<usize>) {
+    let mut params = Vec::new();
+    let mut scenarios = Vec::new();
     for &max_cluster in cluster_sizes {
         for &shortcuts in shortcut_budgets {
-            let topo = synthesize(
-                app,
-                &SynthesisConfig {
-                    max_cluster,
-                    shortcuts,
-                    ..SynthesisConfig::default()
-                },
-            );
-            let Ok(routes) = compute_routes(&topo, app) else {
-                continue;
-            };
-            points.push(NocDesignPoint {
+            params.push((max_cluster, shortcuts));
+            scenarios.push(Scenario::NocPoint(NocScenario {
+                app: app.clone(),
                 max_cluster,
                 shortcuts,
-                weighted_hops: routes.weighted_hops,
-                energy: pm.traffic_energy(&topo, app, &routes.paths),
-                area: area_proxy(&topo),
-                deadlock_free: routes.deadlock_free,
-            });
+            }));
         }
+    }
+    let outcomes = run_scenarios(&scenarios, workers);
+    let mut points = Vec::new();
+    for ((max_cluster, shortcuts), outcome) in params.into_iter().zip(outcomes) {
+        let ScenarioOutcome::Noc {
+            feasible,
+            weighted_hops,
+            energy,
+            area,
+            deadlock_free,
+        } = outcome
+        else {
+            unreachable!("NocPoint scenarios yield Noc outcomes");
+        };
+        if !feasible {
+            continue;
+        }
+        points.push(NocDesignPoint {
+            max_cluster,
+            shortcuts,
+            weighted_hops,
+            energy,
+            area,
+            deadlock_free,
+        });
     }
     let objectives: Vec<Vec<f64>> = points
         .iter()
@@ -160,5 +202,47 @@ mod tests {
     #[should_panic(expected = "dimensionality")]
     fn pareto_checks_dimensions() {
         let _ = pareto_front(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn nan_points_never_enter_the_front() {
+        let pts = vec![
+            vec![f64::NAN, f64::NAN],
+            vec![f64::NAN, 0.0],
+            vec![2.0, 2.0],
+        ];
+        assert_eq!(pareto_front(&pts), vec![2]);
+        // An all-NaN input has an empty front.
+        assert!(pareto_front(&[vec![f64::NAN]]).is_empty());
+    }
+
+    #[test]
+    fn nan_points_never_dominate() {
+        // [NaN, 0] must not knock out [5, 5] even though 0 < 5.
+        let pts = vec![vec![f64::NAN, 0.0], vec![5.0, 5.0]];
+        assert_eq!(pareto_front(&pts), vec![1]);
+    }
+
+    #[test]
+    fn infinities_compare_by_ieee_order() {
+        // -inf is unbeatable; +inf loses to any finite value.
+        let pts = vec![
+            vec![f64::NEG_INFINITY, 1.0],
+            vec![0.0, 1.0],
+            vec![f64::INFINITY, 1.0],
+        ];
+        assert_eq!(pareto_front(&pts), vec![0]);
+        // A lone +inf point is still the front — nothing dominates it.
+        assert_eq!(pareto_front(&[vec![f64::INFINITY]]), vec![0]);
+    }
+
+    #[test]
+    fn parallel_exploration_matches_serial() {
+        let app = CommGraph::hotspot(16, 1.0);
+        let serial = explore_noc(&app, &[2, 4, 8], &[0, 4]);
+        for workers in [2, 4, 0] {
+            let par = explore_noc_parallel(&app, &[2, 4, 8], &[0, 4], workers);
+            assert_eq!(serial, par, "divergence at workers={workers}");
+        }
     }
 }

@@ -13,6 +13,10 @@
 //!   (`mns-bicluster`), reporting quality end to end,
 //! * [`explore`] — a small design-space exploration driver with Pareto
 //!   filtering, applied to NoC topology synthesis (`mns-noc`),
+//! * [`runner`] — the deterministic parallel experiment engine: batched
+//!   [`Scenario`](runner::Scenario) evaluation across worker threads with
+//!   work stealing, fingerprint caching, and byte-identical serial /
+//!   parallel outcomes (the golden-run conformance contract),
 //! * [`report`] — the experiment table type shared by the examples and
 //!   the `mns-bench` reproduction harness.
 //!
@@ -35,3 +39,4 @@
 pub mod explore;
 pub mod labchip;
 pub mod report;
+pub mod runner;

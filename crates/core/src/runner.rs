@@ -1,0 +1,1260 @@
+//! Deterministic parallel experiment engine.
+//!
+//! The keynote's design methodology is *sweep and evaluate*: enumerate a
+//! multivariate design space, evaluate every point, keep the interesting
+//! ones (slide 15). This module turns that loop into infrastructure. A
+//! [`Scenario`] is one self-contained evaluation — a lab-on-chip compile,
+//! a NoC synthesis point, a WSN lifetime simulation, a gene knockout —
+//! that carries every parameter (including its RNG seed) by value, so
+//! running it is a pure function of its description. The [`Runner`]
+//! executes a batch of scenarios across N worker threads with
+//! work-stealing load balancing and returns outcomes in submission order.
+//!
+//! ## Determinism rules
+//!
+//! 1. A scenario owns its whole input, seed included; `Scenario::run`
+//!    never reads ambient state (clock, thread id, global RNG).
+//! 2. Scenario RNG streams are derived from the scenario's own seed
+//!    fields, so evaluation order cannot perturb the draws.
+//! 3. The engine assigns results by submission index; worker count and
+//!    steal order therefore cannot change the output. Parallel runs are
+//!    **byte-identical** to serial runs — `tests/conformance.rs` enforces
+//!    this against a committed golden corpus.
+//!
+//! ## Caching
+//!
+//! Every scenario has a stable [`fingerprint`](Scenario::fingerprint)
+//! (FNV-1a over a canonical field encoding; floats hashed via IEEE bits).
+//! The runner memoizes outcomes by fingerprint, so a repeated sweep —
+//! common when an exploration loop re-visits design points — skips
+//! already-evaluated scenarios, and duplicates inside one batch are
+//! evaluated once.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+use mns_fluidics::assay::multiplex_immunoassay;
+use mns_fluidics::compiler::{compile_with_faults, CompilerConfig};
+use mns_fluidics::faults::{FaultConfig, FaultModel};
+use mns_fluidics::geometry::Grid;
+use mns_grn::models::{arabidopsis, organ_repertoire, t_helper, th_fates, FloralInputs};
+use mns_grn::Perturbation;
+use mns_noc::graph::CommGraph;
+use mns_noc::power::{area_proxy, PowerModel};
+use mns_noc::routing::compute_routes;
+use mns_noc::synthesis::{synthesize, SynthesisConfig};
+use mns_wsn::field::Field;
+use mns_wsn::harvest::{simulate_harvesting, DutyPolicy, HarvestConfig, SolarModel};
+use mns_wsn::protocol::Protocol;
+use mns_wsn::sim::{simulate_lifetime, LifetimeConfig};
+
+use crate::labchip::{LabChipPipeline, PipelineConfig};
+
+/// A 64-bit digest of a scenario outcome, stable across runs, worker
+/// counts and processes (the golden corpus commits these values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest(pub u64);
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// FNV-1a accumulator over a canonical field encoding. Every value is
+/// framed (tag or length first) so distinct field sequences cannot
+/// collide by concatenation.
+#[derive(Debug, Clone)]
+struct Canon(u64);
+
+impl Canon {
+    fn new() -> Self {
+        Canon(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn i64(&mut self, v: i64) {
+        self.u64(v as u64);
+    }
+
+    /// Floats hash by IEEE-754 bit pattern: byte-identical is the
+    /// conformance contract, not approximate equality.
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.byte(u8::from(v));
+    }
+
+    fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        for b in s.bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A microfluidic compile scenario: multiplexed immunoassay onto a square
+/// array, optionally around a deterministic dead-electrode fault map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FluidicsScenario {
+    /// Samples multiplexed into one run.
+    pub plex: usize,
+    /// Square array side (electrodes).
+    pub grid_side: i32,
+    /// Dead-electrode fraction (0 disables fault injection).
+    pub dead_fraction: f64,
+    /// Fault-map seed (ignored when `dead_fraction` is 0).
+    pub fault_seed: u64,
+}
+
+/// A full lab-on-chip pipeline run (compile → sense → interpret).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabChipScenario {
+    /// Run seed (biology, sensing noise, fault-map mixing).
+    pub seed: u64,
+    /// Samples transported per chip run.
+    pub samples_per_run: usize,
+    /// Dead-electrode fraction (0 disables fault injection).
+    pub dead_fraction: f64,
+    /// Fault seed, mixed with the run seed by the pipeline.
+    pub fault_seed: u64,
+}
+
+/// One NoC topology-synthesis design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NocScenario {
+    /// The application communication graph.
+    pub app: CommGraph,
+    /// Cores per leaf router.
+    pub max_cluster: usize,
+    /// Shortcut-link budget.
+    pub shortcuts: usize,
+}
+
+/// A WSN lifetime simulation over a random field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WsnScenario {
+    /// Node count.
+    pub nodes: usize,
+    /// Field side (m).
+    pub side: f64,
+    /// Collection protocol.
+    pub protocol: Protocol,
+    /// Per-node, per-round exogenous failure probability.
+    pub failure_rate: f64,
+    /// Round cap.
+    pub max_rounds: u64,
+    /// Field and simulation seed.
+    pub seed: u64,
+}
+
+/// A solar-harvesting policy simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarvestScenario {
+    /// Energy-management policy under test.
+    pub policy: DutyPolicy,
+    /// Simulated days.
+    pub days: u32,
+    /// Weather severity in `[0, 1]`.
+    pub cloudiness: f64,
+    /// Weather seed.
+    pub seed: u64,
+}
+
+/// Which published gene-regulatory model a knockout scenario perturbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrnModel {
+    /// The T-helper differentiation network (Mendoza 2006).
+    THelper,
+    /// The Arabidopsis floral-organ network at the given whorl (0–3).
+    Arabidopsis {
+        /// Whorl index into [`FloralInputs::whorls`].
+        whorl: usize,
+    },
+}
+
+/// An in-silico knockout screen point: one model, zero or one knockout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnockoutScenario {
+    /// The model to perturb.
+    pub model: GrnModel,
+    /// Gene to knock out (`None` = wild type).
+    pub knockout: Option<String>,
+}
+
+/// One self-contained, deterministic experiment evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scenario {
+    /// Microfluidic assay compile (optionally fault-injected).
+    FluidicsCompile(FluidicsScenario),
+    /// End-to-end lab-on-chip pipeline run.
+    LabChip(LabChipScenario),
+    /// NoC synthesis + routing design point.
+    NocPoint(NocScenario),
+    /// WSN lifetime simulation.
+    WsnLifetime(WsnScenario),
+    /// Harvesting-policy simulation.
+    Harvest(HarvestScenario),
+    /// GRN knockout screen point.
+    Knockout(KnockoutScenario),
+}
+
+impl Scenario {
+    /// Stable cache key: FNV-1a over a canonical encoding of every
+    /// parameter (tag first, floats by bit pattern).
+    pub fn fingerprint(&self) -> u64 {
+        let mut c = Canon::new();
+        match self {
+            Scenario::FluidicsCompile(s) => {
+                c.byte(1);
+                c.usize(s.plex);
+                c.i64(i64::from(s.grid_side));
+                c.f64(s.dead_fraction);
+                c.u64(s.fault_seed);
+            }
+            Scenario::LabChip(s) => {
+                c.byte(2);
+                c.u64(s.seed);
+                c.usize(s.samples_per_run);
+                c.f64(s.dead_fraction);
+                c.u64(s.fault_seed);
+            }
+            Scenario::NocPoint(s) => {
+                c.byte(3);
+                c.usize(s.app.cores());
+                c.usize(s.app.flows().len());
+                for f in s.app.flows() {
+                    c.usize(f.src);
+                    c.usize(f.dst);
+                    c.f64(f.rate);
+                }
+                c.usize(s.max_cluster);
+                c.usize(s.shortcuts);
+            }
+            Scenario::WsnLifetime(s) => {
+                c.byte(4);
+                c.usize(s.nodes);
+                c.f64(s.side);
+                match s.protocol {
+                    Protocol::Direct => c.byte(0),
+                    Protocol::Tree {
+                        radio_range,
+                        aggregate,
+                    } => {
+                        c.byte(1);
+                        c.f64(radio_range);
+                        c.bool(aggregate);
+                    }
+                    Protocol::Cluster { p, aggregate } => {
+                        c.byte(2);
+                        c.f64(p);
+                        c.bool(aggregate);
+                    }
+                }
+                c.f64(s.failure_rate);
+                c.u64(s.max_rounds);
+                c.u64(s.seed);
+            }
+            Scenario::Harvest(s) => {
+                c.byte(5);
+                match s.policy {
+                    DutyPolicy::Fixed(d) => {
+                        c.byte(0);
+                        c.f64(d);
+                    }
+                    DutyPolicy::Greedy {
+                        threshold,
+                        duty_high,
+                        duty_low,
+                    } => {
+                        c.byte(1);
+                        c.f64(threshold);
+                        c.f64(duty_high);
+                        c.f64(duty_low);
+                    }
+                    DutyPolicy::EnergyNeutral { alpha } => {
+                        c.byte(2);
+                        c.f64(alpha);
+                    }
+                }
+                c.u64(u64::from(s.days));
+                c.f64(s.cloudiness);
+                c.u64(s.seed);
+            }
+            Scenario::Knockout(s) => {
+                c.byte(6);
+                match s.model {
+                    GrnModel::THelper => c.byte(0),
+                    GrnModel::Arabidopsis { whorl } => {
+                        c.byte(1);
+                        c.usize(whorl);
+                    }
+                }
+                match &s.knockout {
+                    None => c.byte(0),
+                    Some(g) => {
+                        c.byte(1);
+                        c.str(g);
+                    }
+                }
+            }
+        }
+        c.finish()
+    }
+
+    /// Human-readable corpus label (unique per distinct scenario in the
+    /// golden corpus; golden files key on it).
+    pub fn label(&self) -> String {
+        match self {
+            Scenario::FluidicsCompile(s) => format!(
+                "fluidics/plex{}-g{}-dead{}pm-s{}",
+                s.plex,
+                s.grid_side,
+                (s.dead_fraction * 1000.0).round() as u64,
+                s.fault_seed
+            ),
+            Scenario::LabChip(s) => format!(
+                "labchip/seed{}-n{}-dead{}pm-f{}",
+                s.seed,
+                s.samples_per_run,
+                (s.dead_fraction * 1000.0).round() as u64,
+                s.fault_seed
+            ),
+            Scenario::NocPoint(s) => format!(
+                "noc/c{}-e{}-k{}-x{}",
+                s.app.cores(),
+                s.app.flows().len(),
+                s.max_cluster,
+                s.shortcuts
+            ),
+            Scenario::WsnLifetime(s) => format!(
+                "wsn/{}-n{}-r{}-f{}pm-s{}",
+                s.protocol.label(),
+                s.nodes,
+                s.max_rounds,
+                (s.failure_rate * 1000.0).round() as u64,
+                s.seed
+            ),
+            Scenario::Harvest(s) => format!(
+                "harvest/{}-d{}-c{}pm-s{}",
+                s.policy.label(),
+                s.days,
+                (s.cloudiness * 1000.0).round() as u64,
+                s.seed
+            ),
+            Scenario::Knockout(s) => {
+                let model = match s.model {
+                    GrnModel::THelper => "thelper".to_owned(),
+                    GrnModel::Arabidopsis { whorl } => format!("arabidopsis-w{whorl}"),
+                };
+                match &s.knockout {
+                    None => format!("grn/{model}/wild"),
+                    Some(g) => format!("grn/{model}/ko-{g}"),
+                }
+            }
+        }
+    }
+
+    /// Evaluates the scenario. Pure: the result depends only on the
+    /// scenario fields, never on execution order or thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`KnockoutScenario`] names a gene absent from its
+    /// model, or a [`FluidicsScenario`] has a non-positive grid.
+    pub fn run(&self) -> ScenarioOutcome {
+        match self {
+            Scenario::FluidicsCompile(s) => {
+                let cfg = CompilerConfig {
+                    grid_width: s.grid_side,
+                    grid_height: s.grid_side,
+                    ..CompilerConfig::default()
+                };
+                let grid = Grid::new(s.grid_side, s.grid_side).expect("positive grid");
+                let model = if s.dead_fraction > 0.0 {
+                    FaultModel::generate(&FaultConfig::dead(s.fault_seed, s.dead_fraction), &grid)
+                } else {
+                    FaultModel::none()
+                };
+                match compile_with_faults(&multiplex_immunoassay(s.plex), &cfg, &model) {
+                    Ok(c) => ScenarioOutcome::Fluidics {
+                        compiled: true,
+                        makespan: c.stats.makespan,
+                        moves: c.stats.route_moves,
+                        stalls: c.stats.route_stalls,
+                        energy: c.stats.energy,
+                        reroutes: c.stats.reroutes,
+                        abandoned: c.stats.abandoned,
+                    },
+                    Err(_) => ScenarioOutcome::Fluidics {
+                        compiled: false,
+                        makespan: 0,
+                        moves: 0,
+                        stalls: 0,
+                        energy: 0,
+                        reroutes: 0,
+                        abandoned: 0,
+                    },
+                }
+            }
+            Scenario::LabChip(s) => {
+                let cfg = PipelineConfig {
+                    samples_per_run: s.samples_per_run,
+                    fault: (s.dead_fraction > 0.0).then(|| FaultConfig {
+                        seed: s.fault_seed,
+                        dead_fraction: s.dead_fraction,
+                        ..FaultConfig::default()
+                    }),
+                    ..PipelineConfig::default()
+                };
+                match LabChipPipeline::new(cfg).run(s.seed) {
+                    Ok(r) => ScenarioOutcome::LabChip {
+                        ok: true,
+                        makespan: r.routing.makespan,
+                        energy: r.routing.energy,
+                        sensing_error: r.sensing_error,
+                        biclusters: r.mining.biclusters.len(),
+                        recovery: r.interpretation.recovery,
+                        relevance: r.interpretation.relevance,
+                        samples_dropped: r.faults.samples_dropped,
+                    },
+                    Err(_) => ScenarioOutcome::LabChip {
+                        ok: false,
+                        makespan: 0,
+                        energy: 0,
+                        sensing_error: 0.0,
+                        biclusters: 0,
+                        recovery: 0.0,
+                        relevance: 0.0,
+                        samples_dropped: 0,
+                    },
+                }
+            }
+            Scenario::NocPoint(s) => {
+                let topo = synthesize(
+                    &s.app,
+                    &SynthesisConfig {
+                        max_cluster: s.max_cluster,
+                        shortcuts: s.shortcuts,
+                        ..SynthesisConfig::default()
+                    },
+                );
+                match compute_routes(&topo, &s.app) {
+                    Ok(routes) => ScenarioOutcome::Noc {
+                        feasible: true,
+                        weighted_hops: routes.weighted_hops,
+                        energy: PowerModel::default().traffic_energy(&topo, &s.app, &routes.paths),
+                        area: area_proxy(&topo),
+                        deadlock_free: routes.deadlock_free,
+                    },
+                    Err(_) => ScenarioOutcome::Noc {
+                        feasible: false,
+                        weighted_hops: 0.0,
+                        energy: 0.0,
+                        area: 0.0,
+                        deadlock_free: false,
+                    },
+                }
+            }
+            Scenario::WsnLifetime(s) => {
+                let field = Field::random(s.nodes, s.side, s.seed);
+                let stats = simulate_lifetime(
+                    &field,
+                    s.protocol,
+                    &LifetimeConfig {
+                        max_rounds: s.max_rounds,
+                        failure_rate: s.failure_rate,
+                        seed: s.seed,
+                        ..LifetimeConfig::default()
+                    },
+                );
+                ScenarioOutcome::Wsn {
+                    first_death: stats.first_death_round,
+                    half_death: stats.half_death_round,
+                    rounds: stats.rounds,
+                    sensed: stats.sensed,
+                    delivered: stats.delivered,
+                    avg_coverage: stats.avg_coverage,
+                    energy_spent: stats.energy_spent,
+                }
+            }
+            Scenario::Harvest(s) => {
+                let stats = simulate_harvesting(
+                    s.policy,
+                    &HarvestConfig {
+                        days: s.days,
+                        seed: s.seed,
+                        solar: SolarModel {
+                            cloudiness: s.cloudiness,
+                            ..SolarModel::default()
+                        },
+                        ..HarvestConfig::default()
+                    },
+                );
+                ScenarioOutcome::Harvest {
+                    work: stats.work,
+                    dead_slots: stats.dead_slots,
+                    total_slots: stats.total_slots,
+                    wasted: stats.wasted,
+                    harvested: stats.harvested,
+                    final_battery: stats.final_battery,
+                }
+            }
+            Scenario::Knockout(s) => {
+                let net = match s.model {
+                    GrnModel::THelper => t_helper(),
+                    GrnModel::Arabidopsis { whorl } => arabidopsis(FloralInputs::whorls()[whorl]),
+                };
+                let net = match &s.knockout {
+                    None => net,
+                    Some(g) => net
+                        .with_perturbation(&Perturbation::knock_out(g))
+                        .expect("knockout gene exists in model"),
+                };
+                let annotation = match s.model {
+                    GrnModel::THelper => {
+                        let fates = th_fates(&net).expect("fate analysis");
+                        fates
+                            .iter()
+                            .map(|(_, f)| format!("{f:?}"))
+                            .collect::<Vec<_>>()
+                            .join("/")
+                    }
+                    GrnModel::Arabidopsis { .. } => {
+                        let organs = organ_repertoire(&net).expect("organ analysis");
+                        organs
+                            .iter()
+                            .map(ToString::to_string)
+                            .collect::<Vec<_>>()
+                            .join("/")
+                    }
+                };
+                let mut sym = mns_grn::symbolic::SymbolicDynamics::new(&net);
+                let mut bits: Vec<u64> = sym
+                    .fixed_point_states()
+                    .iter()
+                    .map(|st| st.bits())
+                    .collect();
+                bits.sort_unstable();
+                ScenarioOutcome::Knockout {
+                    fixed_points: bits,
+                    annotation,
+                }
+            }
+        }
+    }
+}
+
+/// The structured result of one scenario evaluation. Equality is exact
+/// (floats included): two outcomes are equal iff they are byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioOutcome {
+    /// Microfluidic compile result (all zeros when `compiled` is false).
+    Fluidics {
+        /// Whether the assay compiled onto the (possibly faulty) array.
+        compiled: bool,
+        /// Schedule makespan in ticks.
+        makespan: u32,
+        /// Total droplet moves.
+        moves: u32,
+        /// Total droplet stalls.
+        stalls: u32,
+        /// Electrode activations.
+        energy: u64,
+        /// Failed routing attempts that forced a recompile.
+        reroutes: u32,
+        /// Waste transports sacrificed for routability.
+        abandoned: u32,
+    },
+    /// Lab-on-chip pipeline result (all zeros when `ok` is false).
+    LabChip {
+        /// Whether the pipeline completed.
+        ok: bool,
+        /// Compile makespan.
+        makespan: u32,
+        /// Electrode activations.
+        energy: u64,
+        /// Mean absolute sensing error (expression units).
+        sensing_error: f64,
+        /// Maximal biclusters mined.
+        biclusters: usize,
+        /// Recovery versus the implanted truth.
+        recovery: f64,
+        /// Relevance versus the implanted truth.
+        relevance: f64,
+        /// Samples shed to fit a faulty array.
+        samples_dropped: usize,
+    },
+    /// NoC design-point result (zeros when `feasible` is false).
+    Noc {
+        /// Whether a route set exists.
+        feasible: bool,
+        /// Rate-weighted mean hops.
+        weighted_hops: f64,
+        /// Rate-weighted energy per flit.
+        energy: f64,
+        /// Router area proxy.
+        area: f64,
+        /// Whether the route set is certified deadlock-free.
+        deadlock_free: bool,
+    },
+    /// WSN lifetime result.
+    Wsn {
+        /// Round of the first node death.
+        first_death: u64,
+        /// Round at which half the nodes were dead.
+        half_death: u64,
+        /// Rounds simulated.
+        rounds: u64,
+        /// Packets sensed.
+        sensed: u64,
+        /// Packets delivered to the sink.
+        delivered: u64,
+        /// Time-averaged coverage.
+        avg_coverage: f64,
+        /// Total radio energy spent (J).
+        energy_spent: f64,
+    },
+    /// Harvesting-policy result.
+    Harvest {
+        /// Seconds of active service delivered.
+        work: f64,
+        /// Slots spent browned out.
+        dead_slots: u64,
+        /// Slots simulated.
+        total_slots: u64,
+        /// Energy lost to battery overflow (J).
+        wasted: f64,
+        /// Total solar income (J).
+        harvested: f64,
+        /// Battery level at the end of the run (J).
+        final_battery: f64,
+    },
+    /// Knockout screen result.
+    Knockout {
+        /// Fixed-point state bitmasks, ascending.
+        fixed_points: Vec<u64>,
+        /// Domain annotation (T-helper fates or floral organs, joined
+        /// with `/` in fixed-point order).
+        annotation: String,
+    },
+}
+
+impl ScenarioOutcome {
+    /// Canonical digest of the outcome; the unit of golden-corpus
+    /// comparison. Floats enter by IEEE bit pattern, so equal digests
+    /// mean byte-identical results.
+    pub fn digest(&self) -> Digest {
+        let mut c = Canon::new();
+        match self {
+            ScenarioOutcome::Fluidics {
+                compiled,
+                makespan,
+                moves,
+                stalls,
+                energy,
+                reroutes,
+                abandoned,
+            } => {
+                c.byte(1);
+                c.bool(*compiled);
+                c.u64(u64::from(*makespan));
+                c.u64(u64::from(*moves));
+                c.u64(u64::from(*stalls));
+                c.u64(*energy);
+                c.u64(u64::from(*reroutes));
+                c.u64(u64::from(*abandoned));
+            }
+            ScenarioOutcome::LabChip {
+                ok,
+                makespan,
+                energy,
+                sensing_error,
+                biclusters,
+                recovery,
+                relevance,
+                samples_dropped,
+            } => {
+                c.byte(2);
+                c.bool(*ok);
+                c.u64(u64::from(*makespan));
+                c.u64(*energy);
+                c.f64(*sensing_error);
+                c.usize(*biclusters);
+                c.f64(*recovery);
+                c.f64(*relevance);
+                c.usize(*samples_dropped);
+            }
+            ScenarioOutcome::Noc {
+                feasible,
+                weighted_hops,
+                energy,
+                area,
+                deadlock_free,
+            } => {
+                c.byte(3);
+                c.bool(*feasible);
+                c.f64(*weighted_hops);
+                c.f64(*energy);
+                c.f64(*area);
+                c.bool(*deadlock_free);
+            }
+            ScenarioOutcome::Wsn {
+                first_death,
+                half_death,
+                rounds,
+                sensed,
+                delivered,
+                avg_coverage,
+                energy_spent,
+            } => {
+                c.byte(4);
+                c.u64(*first_death);
+                c.u64(*half_death);
+                c.u64(*rounds);
+                c.u64(*sensed);
+                c.u64(*delivered);
+                c.f64(*avg_coverage);
+                c.f64(*energy_spent);
+            }
+            ScenarioOutcome::Harvest {
+                work,
+                dead_slots,
+                total_slots,
+                wasted,
+                harvested,
+                final_battery,
+            } => {
+                c.byte(5);
+                c.f64(*work);
+                c.u64(*dead_slots);
+                c.u64(*total_slots);
+                c.f64(*wasted);
+                c.f64(*harvested);
+                c.f64(*final_battery);
+            }
+            ScenarioOutcome::Knockout {
+                fixed_points,
+                annotation,
+            } => {
+                c.byte(6);
+                c.usize(fixed_points.len());
+                for &b in fixed_points {
+                    c.u64(b);
+                }
+                c.str(annotation);
+            }
+        }
+        Digest(c.finish())
+    }
+}
+
+/// Engine parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunnerConfig {
+    /// Worker threads; 0 means one per available hardware thread.
+    pub workers: usize,
+    /// Whether outcomes are memoized by scenario fingerprint.
+    pub cache: bool,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            workers: 0,
+            cache: true,
+        }
+    }
+}
+
+/// Execution counters for one runner's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunnerStats {
+    /// Scenarios actually evaluated.
+    pub executed: u64,
+    /// Outcomes served from the fingerprint cache.
+    pub cache_hits: u64,
+    /// Jobs a worker took from another worker's queue.
+    pub steals: u64,
+}
+
+/// One worker thread per available hardware thread (the default worker
+/// count for `RunnerConfig { workers: 0, .. }`).
+pub fn default_workers() -> usize {
+    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// The deterministic work-stealing scenario engine.
+///
+/// ```
+/// use mns_core::runner::{Runner, Scenario, HarvestScenario};
+/// use mns_wsn::harvest::DutyPolicy;
+///
+/// let batch = vec![Scenario::Harvest(HarvestScenario {
+///     policy: DutyPolicy::Fixed(0.3),
+///     days: 2,
+///     cloudiness: 0.4,
+///     seed: 1,
+/// })];
+/// let serial = Runner::serial().run_batch(&batch);
+/// let parallel = Runner::with_workers(4).run_batch(&batch);
+/// assert_eq!(serial, parallel); // byte-identical, any worker count
+/// ```
+#[derive(Debug)]
+pub struct Runner {
+    workers: usize,
+    cache_enabled: bool,
+    cache: HashMap<u64, ScenarioOutcome>,
+    stats: RunnerStats,
+}
+
+impl Runner {
+    /// Creates an engine from `config`.
+    pub fn new(config: RunnerConfig) -> Self {
+        let workers = if config.workers == 0 {
+            default_workers()
+        } else {
+            config.workers
+        };
+        Runner {
+            workers,
+            cache_enabled: config.cache,
+            cache: HashMap::new(),
+            stats: RunnerStats::default(),
+        }
+    }
+
+    /// A single-threaded engine (the conformance reference).
+    pub fn serial() -> Self {
+        Runner::with_workers(1)
+    }
+
+    /// An engine with exactly `workers` threads.
+    pub fn with_workers(workers: usize) -> Self {
+        Runner::new(RunnerConfig {
+            workers: workers.max(1),
+            cache: true,
+        })
+    }
+
+    /// The resolved worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Lifetime execution counters.
+    pub fn stats(&self) -> RunnerStats {
+        self.stats
+    }
+
+    /// Distinct outcomes memoized so far.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drops every memoized outcome.
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Evaluates one scenario (through the cache).
+    pub fn run_one(&mut self, scenario: &Scenario) -> ScenarioOutcome {
+        self.run_batch(std::slice::from_ref(scenario))
+            .pop()
+            .expect("one outcome per scenario")
+    }
+
+    /// Evaluates a batch, returning outcomes in submission order.
+    ///
+    /// Cached fingerprints are served without re-evaluation; duplicate
+    /// scenarios inside the batch are evaluated once. The remaining jobs
+    /// are dealt round-robin to per-worker queues; an idle worker steals
+    /// from the tail of a sibling's queue. Because every scenario is a
+    /// pure function of its own fields, the schedule cannot affect the
+    /// result — only the wall clock.
+    pub fn run_batch(&mut self, scenarios: &[Scenario]) -> Vec<ScenarioOutcome> {
+        let fingerprints: Vec<u64> = scenarios.iter().map(Scenario::fingerprint).collect();
+        let mut out: Vec<Option<ScenarioOutcome>> = vec![None; scenarios.len()];
+        // Resolve cache hits and pick one representative index per
+        // distinct uncached fingerprint.
+        let mut pending: HashSet<u64> = HashSet::new();
+        let mut jobs: Vec<usize> = Vec::new();
+        for (i, &fp) in fingerprints.iter().enumerate() {
+            if self.cache_enabled {
+                if let Some(hit) = self.cache.get(&fp) {
+                    out[i] = Some(hit.clone());
+                    self.stats.cache_hits += 1;
+                    continue;
+                }
+            }
+            if pending.insert(fp) {
+                jobs.push(i);
+            }
+        }
+
+        let fresh = self.execute(scenarios, &jobs);
+        self.stats.executed += fresh.len() as u64;
+        let mut by_fp: HashMap<u64, ScenarioOutcome> = HashMap::with_capacity(fresh.len());
+        for (idx, outcome) in fresh {
+            if self.cache_enabled {
+                self.cache.insert(fingerprints[idx], outcome.clone());
+            }
+            by_fp.insert(fingerprints[idx], outcome);
+        }
+        for (i, slot) in out.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(
+                    by_fp
+                        .get(&fingerprints[i])
+                        .expect("every pending fingerprint was evaluated")
+                        .clone(),
+                );
+            }
+        }
+        out.into_iter()
+            .map(|o| o.expect("all slots filled"))
+            .collect()
+    }
+
+    /// Runs the job list (indices into `scenarios`) across the worker
+    /// pool and returns `(index, outcome)` pairs in arbitrary order.
+    fn execute(&mut self, scenarios: &[Scenario], jobs: &[usize]) -> Vec<(usize, ScenarioOutcome)> {
+        let workers = self.workers.min(jobs.len());
+        if workers <= 1 {
+            return jobs.iter().map(|&i| (i, scenarios[i].run())).collect();
+        }
+
+        // Deal jobs round-robin so each worker starts with a spread of
+        // the batch (adjacent scenarios are often similar in cost).
+        let queues: Vec<Mutex<VecDeque<usize>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (k, &job) in jobs.iter().enumerate() {
+            queues[k % workers]
+                .lock()
+                .expect("queue lock")
+                .push_back(job);
+        }
+        let steals = AtomicU64::new(0);
+
+        let mut results: Vec<(usize, ScenarioOutcome)> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|me| {
+                    let queues = &queues;
+                    let steals = &steals;
+                    scope.spawn(move || {
+                        let mut local: Vec<(usize, ScenarioOutcome)> = Vec::new();
+                        loop {
+                            // Own queue first (front: submission order)…
+                            let mut job = queues[me].lock().expect("queue lock").pop_front();
+                            if job.is_none() {
+                                // …then steal from a sibling's tail. All
+                                // jobs are dealt before the scope starts,
+                                // so an empty sweep means we are done.
+                                for off in 1..queues.len() {
+                                    let victim = (me + off) % queues.len();
+                                    job = queues[victim].lock().expect("queue lock").pop_back();
+                                    if job.is_some() {
+                                        steals.fetch_add(1, Ordering::Relaxed);
+                                        break;
+                                    }
+                                }
+                            }
+                            match job {
+                                Some(i) => local.push((i, scenarios[i].run())),
+                                None => break,
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("scenario worker panicked"))
+                .collect()
+        });
+        self.stats.steals += steals.load(Ordering::Relaxed);
+        // Deterministic post-condition regardless of steal order.
+        results.sort_unstable_by_key(|(i, _)| *i);
+        results
+    }
+}
+
+/// One-shot convenience: evaluates `scenarios` on `workers` threads
+/// (0 = hardware default) without building a [`Runner`] by hand.
+pub fn run_scenarios(scenarios: &[Scenario], workers: usize) -> Vec<ScenarioOutcome> {
+    Runner::new(RunnerConfig {
+        workers,
+        cache: false,
+    })
+    .run_batch(scenarios)
+}
+
+/// The cross-domain golden corpus: every scenario family the workspace
+/// ships, sized to finish in seconds. `tests/conformance.rs` pins the
+/// serial digests of this corpus (at seed 42) in `tests/golden/` and
+/// proves 1/2/8-worker runs byte-identical to serial.
+pub fn conformance_corpus(seed: u64) -> Vec<Scenario> {
+    let mut corpus = vec![
+        // Fluidics: clean compiles at two plex counts, then fault recovery.
+        Scenario::FluidicsCompile(FluidicsScenario {
+            plex: 2,
+            grid_side: 16,
+            dead_fraction: 0.0,
+            fault_seed: 0,
+        }),
+        Scenario::FluidicsCompile(FluidicsScenario {
+            plex: 4,
+            grid_side: 16,
+            dead_fraction: 0.0,
+            fault_seed: 0,
+        }),
+        Scenario::FluidicsCompile(FluidicsScenario {
+            plex: 4,
+            grid_side: 16,
+            dead_fraction: 0.04,
+            fault_seed: seed,
+        }),
+        Scenario::FluidicsCompile(FluidicsScenario {
+            plex: 3,
+            grid_side: 16,
+            dead_fraction: 0.08,
+            fault_seed: seed ^ 1,
+        }),
+        // Lab-on-chip: one pristine and one damaged end-to-end run.
+        Scenario::LabChip(LabChipScenario {
+            seed,
+            samples_per_run: 4,
+            dead_fraction: 0.0,
+            fault_seed: 0,
+        }),
+        Scenario::LabChip(LabChipScenario {
+            seed,
+            samples_per_run: 4,
+            dead_fraction: 0.05,
+            fault_seed: 7,
+        }),
+        // GRN: T-helper wild type plus master-regulator knockouts.
+        Scenario::Knockout(KnockoutScenario {
+            model: GrnModel::THelper,
+            knockout: None,
+        }),
+        Scenario::Knockout(KnockoutScenario {
+            model: GrnModel::THelper,
+            knockout: Some("GATA3".to_owned()),
+        }),
+        Scenario::Knockout(KnockoutScenario {
+            model: GrnModel::THelper,
+            knockout: Some("Tbet".to_owned()),
+        }),
+        Scenario::Knockout(KnockoutScenario {
+            model: GrnModel::THelper,
+            knockout: Some("STAT1".to_owned()),
+        }),
+        // GRN: Arabidopsis whorls, wild and knocked out.
+        Scenario::Knockout(KnockoutScenario {
+            model: GrnModel::Arabidopsis { whorl: 0 },
+            knockout: None,
+        }),
+        Scenario::Knockout(KnockoutScenario {
+            model: GrnModel::Arabidopsis { whorl: 1 },
+            knockout: Some("AP3".to_owned()),
+        }),
+        Scenario::Knockout(KnockoutScenario {
+            model: GrnModel::Arabidopsis { whorl: 2 },
+            knockout: Some("AG".to_owned()),
+        }),
+        // WSN: two protocols, one failure regime.
+        Scenario::WsnLifetime(WsnScenario {
+            nodes: 60,
+            side: 120.0,
+            protocol: Protocol::Direct,
+            failure_rate: 0.0,
+            max_rounds: 600,
+            seed,
+        }),
+        Scenario::WsnLifetime(WsnScenario {
+            nodes: 60,
+            side: 120.0,
+            protocol: Protocol::cluster(0.1, true),
+            failure_rate: 0.002,
+            max_rounds: 600,
+            seed,
+        }),
+        // Harvesting: the two extreme policies.
+        Scenario::Harvest(HarvestScenario {
+            policy: DutyPolicy::Fixed(0.3),
+            days: 10,
+            cloudiness: 0.4,
+            seed,
+        }),
+        Scenario::Harvest(HarvestScenario {
+            policy: DutyPolicy::EnergyNeutral { alpha: 0.01 },
+            days: 10,
+            cloudiness: 0.4,
+            seed,
+        }),
+    ];
+    // NoC: the Pareto-sweep grid over the 16-core hotspot application.
+    let app = CommGraph::hotspot(16, 1.0);
+    for &max_cluster in &[2usize, 4, 8] {
+        for &shortcuts in &[0usize, 4] {
+            corpus.push(Scenario::NocPoint(NocScenario {
+                app: app.clone(),
+                max_cluster,
+                shortcuts,
+            }));
+        }
+    }
+    corpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_batch() -> Vec<Scenario> {
+        vec![
+            Scenario::Harvest(HarvestScenario {
+                policy: DutyPolicy::Fixed(0.4),
+                days: 2,
+                cloudiness: 0.3,
+                seed: 5,
+            }),
+            Scenario::WsnLifetime(WsnScenario {
+                nodes: 20,
+                side: 90.0,
+                protocol: Protocol::tree(40.0, true),
+                failure_rate: 0.0,
+                max_rounds: 150,
+                seed: 5,
+            }),
+            Scenario::Knockout(KnockoutScenario {
+                model: GrnModel::THelper,
+                knockout: None,
+            }),
+            Scenario::NocPoint(NocScenario {
+                app: CommGraph::hotspot(9, 1.0),
+                max_cluster: 3,
+                shortcuts: 2,
+            }),
+        ]
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_distinct() {
+        let batch = small_batch();
+        for s in &batch {
+            assert_eq!(s.fingerprint(), s.clone().fingerprint());
+        }
+        let mut fps: Vec<u64> = batch.iter().map(Scenario::fingerprint).collect();
+        fps.sort_unstable();
+        fps.dedup();
+        assert_eq!(
+            fps.len(),
+            batch.len(),
+            "distinct scenarios must not collide"
+        );
+    }
+
+    #[test]
+    fn fingerprint_sees_every_field() {
+        let a = Scenario::Harvest(HarvestScenario {
+            policy: DutyPolicy::Fixed(0.4),
+            days: 2,
+            cloudiness: 0.3,
+            seed: 5,
+        });
+        let b = Scenario::Harvest(HarvestScenario {
+            policy: DutyPolicy::Fixed(0.4),
+            days: 2,
+            cloudiness: 0.3,
+            seed: 6,
+        });
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn parallel_is_byte_identical_to_serial() {
+        let batch = small_batch();
+        let serial = Runner::serial().run_batch(&batch);
+        for workers in [2, 4, 8] {
+            let par = Runner::with_workers(workers).run_batch(&batch);
+            assert_eq!(serial, par, "divergence at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn cache_serves_repeat_sweeps() {
+        let batch = small_batch();
+        let mut runner = Runner::with_workers(2);
+        let first = runner.run_batch(&batch);
+        assert_eq!(runner.stats().executed, batch.len() as u64);
+        let second = runner.run_batch(&batch);
+        assert_eq!(first, second);
+        assert_eq!(runner.stats().executed, batch.len() as u64, "no re-runs");
+        assert_eq!(runner.stats().cache_hits, batch.len() as u64);
+    }
+
+    #[test]
+    fn duplicates_inside_a_batch_run_once() {
+        let one = small_batch().remove(0);
+        let batch = vec![one.clone(), one.clone(), one];
+        let mut runner = Runner::serial();
+        let out = runner.run_batch(&batch);
+        assert_eq!(out[0], out[1]);
+        assert_eq!(out[1], out[2]);
+        assert_eq!(runner.stats().executed, 1);
+    }
+
+    #[test]
+    fn outcome_digests_discriminate() {
+        let outs = Runner::serial().run_batch(&small_batch());
+        let mut digests: Vec<Digest> = outs.iter().map(ScenarioOutcome::digest).collect();
+        digests.sort_unstable();
+        digests.dedup();
+        assert_eq!(digests.len(), outs.len());
+    }
+
+    #[test]
+    fn corpus_covers_every_scenario_family() {
+        let corpus = conformance_corpus(42);
+        assert!(corpus
+            .iter()
+            .any(|s| matches!(s, Scenario::FluidicsCompile(_))));
+        assert!(corpus.iter().any(|s| matches!(s, Scenario::LabChip(_))));
+        assert!(corpus.iter().any(|s| matches!(s, Scenario::NocPoint(_))));
+        assert!(corpus.iter().any(|s| matches!(s, Scenario::WsnLifetime(_))));
+        assert!(corpus.iter().any(|s| matches!(s, Scenario::Harvest(_))));
+        assert!(corpus.iter().any(|s| matches!(s, Scenario::Knockout(_))));
+        // Labels are the golden-file keys: they must be unique.
+        let mut labels: Vec<String> = corpus.iter().map(Scenario::label).collect();
+        labels.sort();
+        let before = labels.len();
+        labels.dedup();
+        assert_eq!(labels.len(), before, "corpus labels must be unique");
+    }
+}

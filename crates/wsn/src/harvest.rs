@@ -138,6 +138,11 @@ pub struct HarvestStats {
     pub wasted: f64,
     /// Lowest battery level seen (J).
     pub min_battery: f64,
+    /// Total solar income over the run (J), before storage losses. This
+    /// is a property of the trace alone: policies cannot change it.
+    pub harvested: f64,
+    /// Battery level after the last slot (J).
+    pub final_battery: f64,
 }
 
 /// Simulates one harvesting node under the given policy.
@@ -156,12 +161,14 @@ pub fn simulate_harvesting(policy: DutyPolicy, config: &HarvestConfig) -> Harves
     let mut work = 0.0;
     let mut dead_slots = 0u64;
     let mut wasted = 0.0;
+    let mut harvested = 0.0;
     let mut min_battery = battery;
 
     for s in 0..total_slots {
         let t = s as f64 * config.slot;
         let harvest_power = config.solar.power(t, config.seed);
         let harvest = harvest_power * config.slot;
+        harvested += harvest;
 
         let duty = match policy {
             DutyPolicy::Fixed(d) => d.clamp(0.0, 1.0),
@@ -218,6 +225,8 @@ pub fn simulate_harvesting(policy: DutyPolicy, config: &HarvestConfig) -> Harves
         uptime: 1.0 - dead_slots as f64 / total_slots as f64,
         wasted,
         min_battery,
+        harvested,
+        final_battery: battery,
     }
 }
 

@@ -4,8 +4,10 @@
 //! Sweeps the dead-electrode fraction from 0% to 10% on the standard
 //! 16×16 array, recompiling the 4-plex immunoassay around each fault map
 //! and reporting what the recovery cost: makespan inflation, extra
-//! stalls, reroute attempts and sacrificed waste transports. Finishes
-//! with one end-to-end pipeline run on a damaged chip.
+//! stalls, reroute attempts and sacrificed waste transports. The 110
+//! recompiles run as one batch on the deterministic scenario engine,
+//! spread over every hardware thread. Finishes with one end-to-end
+//! pipeline run on a damaged chip.
 //!
 //! ```sh
 //! cargo run --example fault_recovery
@@ -13,19 +15,32 @@
 
 use micronano::core::labchip::{LabChipPipeline, PipelineConfig};
 use micronano::core::report::{fmt_f64, Table};
+use micronano::core::runner::{run_scenarios, FluidicsScenario, Scenario, ScenarioOutcome};
 use micronano::fluidics::assay::multiplex_immunoassay;
 use micronano::fluidics::compiler::{compile, CompilerConfig};
-use micronano::fluidics::geometry::Grid;
-use micronano::fluidics::{compile_with_faults, FaultConfig, FaultModel};
+use micronano::fluidics::FaultConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("micronano fault recovery — dead-electrode sweep, 16×16 array\n");
 
     let cfg = CompilerConfig::default();
-    let grid = Grid::new(cfg.grid_width, cfg.grid_height)?;
-    let assay = multiplex_immunoassay(4);
-    let baseline = compile(&assay, &cfg)?.stats;
+    let baseline = compile(&multiplex_immunoassay(4), &cfg)?.stats;
     const SEEDS: u64 = 10;
+
+    // One scenario per (fraction, fault map); the engine fans the batch
+    // out across workers and returns outcomes in submission order.
+    let mut scenarios = Vec::new();
+    for pct in 0..=10u32 {
+        for seed in 0..SEEDS {
+            scenarios.push(Scenario::FluidicsCompile(FluidicsScenario {
+                plex: 4,
+                grid_side: cfg.grid_width,
+                dead_fraction: f64::from(pct) / 100.0,
+                fault_seed: seed,
+            }));
+        }
+    }
+    let outcomes = run_scenarios(&scenarios, 0);
 
     let mut sweep = Table::new(
         "sweep",
@@ -42,20 +57,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for pct in 0..=10u32 {
         let mut recovered = 0u64;
         let mut ratio_acc = 0.0;
-        let mut stalls = 0u64;
-        let mut reroutes = 0u64;
-        let mut abandoned = 0u64;
+        let mut stall_acc = 0u64;
+        let mut reroute_acc = 0u64;
+        let mut abandoned_acc = 0u64;
         for seed in 0..SEEDS {
-            let fc = FaultConfig::dead(seed, f64::from(pct) / 100.0);
-            let model = FaultModel::generate(&fc, &grid);
-            let Ok(compiled) = compile_with_faults(&assay, &cfg, &model) else {
-                continue;
+            let i = (u64::from(pct) * SEEDS + seed) as usize;
+            let ScenarioOutcome::Fluidics {
+                compiled,
+                makespan,
+                stalls,
+                reroutes,
+                abandoned,
+                ..
+            } = outcomes[i]
+            else {
+                unreachable!("fluidics scenarios yield fluidics outcomes");
             };
+            if !compiled {
+                continue;
+            }
             recovered += 1;
-            ratio_acc += f64::from(compiled.stats.makespan) / f64::from(baseline.makespan);
-            stalls += u64::from(compiled.stats.route_stalls);
-            reroutes += u64::from(compiled.stats.reroutes);
-            abandoned += u64::from(compiled.stats.abandoned);
+            ratio_acc += f64::from(makespan) / f64::from(baseline.makespan);
+            stall_acc += u64::from(stalls);
+            reroute_acc += u64::from(reroutes);
+            abandoned_acc += u64::from(abandoned);
         }
         let mean = |acc: f64| {
             if recovered > 0 {
@@ -68,9 +93,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &pct.to_string(),
             &format!("{recovered}/{SEEDS}"),
             &fmt_f64(mean(ratio_acc)),
-            &fmt_f64(mean(stalls as f64)),
-            &fmt_f64(mean(reroutes as f64)),
-            &fmt_f64(mean(abandoned as f64)),
+            &fmt_f64(mean(stall_acc as f64)),
+            &fmt_f64(mean(reroute_acc as f64)),
+            &fmt_f64(mean(abandoned_acc as f64)),
         ]);
     }
     println!("{sweep}");

@@ -6,7 +6,7 @@
 //! cargo run --release --example noc_designflow
 //! ```
 
-use micronano::core::explore::explore_noc;
+use micronano::core::explore::explore_noc_parallel;
 use micronano::core::report::{fmt_f64, Table};
 use micronano::noc::graph::CommGraph;
 use micronano::noc::power::{area_proxy, PowerModel};
@@ -56,8 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("{t}");
 
-    // Design-space exploration over synthesis parameters.
-    let (points, front) = explore_noc(&app, &[2, 3, 4, 8], &[0, 2, 4, 8]);
+    // Design-space exploration over synthesis parameters, fanned out
+    // across every hardware thread by the scenario engine (workers = 0);
+    // the conformance corpus pins this to the serial result.
+    let (points, front) = explore_noc_parallel(&app, &[2, 3, 4, 8], &[0, 2, 4, 8], 0);
     let mut e = Table::new(
         "dse",
         "synthesis design space (Pareto-optimal rows marked *)",

@@ -1,0 +1,35 @@
+//! Regenerates the golden-run conformance corpus.
+//!
+//! Runs `mns_core::runner::conformance_corpus(42)` serially and rewrites
+//! `tests/golden/corpus.txt` with one `label digest` line per scenario.
+//! Run this after an intentional behaviour change, commit the diff with a
+//! `[golden-update]` marker in the commit message (CI rejects golden
+//! drift without it), and say in the commit body *why* the outcomes
+//! moved.
+//!
+//! ```sh
+//! cargo run --release --example regen_golden
+//! ```
+
+use micronano::core::runner::{conformance_corpus, Runner};
+
+/// Seed of the committed corpus; `tests/conformance.rs` uses the same.
+const CORPUS_SEED: u64 = 42;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = conformance_corpus(CORPUS_SEED);
+    let outcomes = Runner::serial().run_batch(&corpus);
+
+    let mut lines = String::new();
+    lines.push_str("# Golden conformance digests — regenerate with\n");
+    lines.push_str("#   cargo run --release --example regen_golden\n");
+    lines.push_str("# and commit with a [golden-update] marker.\n");
+    for (scenario, outcome) in corpus.iter().zip(&outcomes) {
+        lines.push_str(&format!("{} {}\n", scenario.label(), outcome.digest()));
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/corpus.txt");
+    std::fs::write(path, &lines)?;
+    println!("wrote {} digests to {path}", outcomes.len());
+    Ok(())
+}

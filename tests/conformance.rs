@@ -1,0 +1,211 @@
+//! Golden-run conformance: the scenario engine's output is pinned.
+//!
+//! Three contracts, in increasing strength:
+//!
+//! 1. **Golden**: the serial digests of `conformance_corpus(42)` match
+//!    the committed `tests/golden/corpus.txt` exactly. A mismatch means a
+//!    behaviour change — regenerate with `cargo run --release --example
+//!    regen_golden` and commit with a `[golden-update]` marker only if
+//!    the change is intentional.
+//! 2. **Parallel = serial**: 1-, 2- and 8-worker runs of the corpus are
+//!    byte-identical to the serial reference (outcome equality is exact,
+//!    floats by bit pattern).
+//! 3. **Differential (property)**: the same holds for *random* scenario
+//!    batches with duplicates, for random worker counts.
+
+use std::collections::BTreeMap;
+
+use micronano::core::runner::{
+    conformance_corpus, run_scenarios, FluidicsScenario, GrnModel, HarvestScenario,
+    KnockoutScenario, NocScenario, Runner, Scenario, WsnScenario,
+};
+use micronano::noc::graph::CommGraph;
+use micronano::wsn::harvest::DutyPolicy;
+use micronano::wsn::protocol::Protocol;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Seed of the committed corpus (must match `examples/regen_golden.rs`).
+const CORPUS_SEED: u64 = 42;
+
+fn golden_digests() -> BTreeMap<String, String> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/corpus.txt");
+    let text = std::fs::read_to_string(path).expect("tests/golden/corpus.txt is committed");
+    text.lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let (label, digest) = l.rsplit_once(' ').expect("`label digest` lines");
+            (label.to_owned(), digest.to_owned())
+        })
+        .collect()
+}
+
+#[test]
+fn serial_run_matches_golden_corpus() {
+    let corpus = conformance_corpus(CORPUS_SEED);
+    let outcomes = Runner::serial().run_batch(&corpus);
+    let golden = golden_digests();
+    assert_eq!(
+        golden.len(),
+        corpus.len(),
+        "golden file and corpus disagree on scenario count — \
+         regenerate with `cargo run --release --example regen_golden`"
+    );
+    for (scenario, outcome) in corpus.iter().zip(&outcomes) {
+        let label = scenario.label();
+        let expected = golden
+            .get(&label)
+            .unwrap_or_else(|| panic!("scenario `{label}` missing from golden file"));
+        let actual = outcome.digest().to_string();
+        assert_eq!(
+            *expected, actual,
+            "golden drift on `{label}`: committed {expected}, got {actual}. \
+             If intentional, regenerate the corpus and commit with [golden-update]."
+        );
+    }
+}
+
+#[test]
+fn parallel_runs_are_byte_identical_to_serial() {
+    let corpus = conformance_corpus(CORPUS_SEED);
+    let reference = Runner::serial().run_batch(&corpus);
+    for workers in [1usize, 2, 8] {
+        let parallel = run_scenarios(&corpus, workers);
+        assert_eq!(
+            reference.len(),
+            parallel.len(),
+            "outcome count drift at {workers} workers"
+        );
+        for (i, (r, p)) in reference.iter().zip(&parallel).enumerate() {
+            assert_eq!(
+                r,
+                p,
+                "scenario `{}` diverged at {workers} workers",
+                corpus[i].label()
+            );
+            assert_eq!(r.digest(), p.digest());
+        }
+    }
+}
+
+#[test]
+fn cached_replay_is_byte_identical_to_fresh_run() {
+    let corpus = conformance_corpus(CORPUS_SEED);
+    let mut runner = Runner::with_workers(4);
+    let fresh = runner.run_batch(&corpus);
+    let executed = runner.stats().executed;
+    let replay = runner.run_batch(&corpus);
+    assert_eq!(fresh, replay, "cache replay must not change outcomes");
+    assert_eq!(
+        runner.stats().executed,
+        executed,
+        "a full replay must be served entirely from the cache"
+    );
+    assert_eq!(runner.stats().cache_hits, corpus.len() as u64);
+}
+
+/// Builds a random batch of *cheap* scenarios — every family except the
+/// full lab-on-chip pipeline (too slow for a proptest inner loop), with
+/// deliberate duplicates so the differential test also exercises
+/// within-batch dedup against the parallel path.
+fn random_batch(seed: u64, len: usize) -> Vec<Scenario> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut batch: Vec<Scenario> = (0..len)
+        .map(|_| match rng.gen_range(0..5u8) {
+            0 => Scenario::Harvest(HarvestScenario {
+                policy: match rng.gen_range(0..3u8) {
+                    0 => DutyPolicy::Fixed(rng.gen_range(0.0..1.0)),
+                    1 => DutyPolicy::Greedy {
+                        threshold: rng.gen_range(0.1..0.5),
+                        duty_high: rng.gen_range(0.5..1.0),
+                        duty_low: rng.gen_range(0.0..0.1),
+                    },
+                    _ => DutyPolicy::EnergyNeutral {
+                        alpha: rng.gen_range(0.001..0.1),
+                    },
+                },
+                days: rng.gen_range(1..4),
+                cloudiness: rng.gen_range(0.0..1.0),
+                seed: rng.gen_range(0..1_000),
+            }),
+            1 => Scenario::WsnLifetime(WsnScenario {
+                nodes: rng.gen_range(10..30),
+                side: rng.gen_range(60.0..150.0),
+                protocol: match rng.gen_range(0..3u8) {
+                    0 => Protocol::Direct,
+                    1 => Protocol::tree(40.0, rng.gen()),
+                    _ => Protocol::cluster(0.1, rng.gen()),
+                },
+                failure_rate: rng.gen_range(0.0..0.01),
+                max_rounds: rng.gen_range(50..200),
+                seed: rng.gen_range(0..1_000),
+            }),
+            2 => Scenario::Knockout(KnockoutScenario {
+                model: if rng.gen() {
+                    GrnModel::THelper
+                } else {
+                    GrnModel::Arabidopsis {
+                        whorl: rng.gen_range(0..4),
+                    }
+                },
+                knockout: None,
+            }),
+            3 => Scenario::NocPoint(NocScenario {
+                app: CommGraph::hotspot(rng.gen_range(4..12), 1.0),
+                max_cluster: rng.gen_range(2..6),
+                shortcuts: rng.gen_range(0..4),
+            }),
+            _ => Scenario::FluidicsCompile(FluidicsScenario {
+                plex: rng.gen_range(1..3),
+                grid_side: 16,
+                dead_fraction: rng.gen_range(0.0..0.05),
+                fault_seed: rng.gen_range(0..100),
+            }),
+        })
+        .collect();
+    // Duplicate a random prefix element to the tail.
+    if len > 1 {
+        let dup = batch[rng.gen_range(0..len / 2)].clone();
+        batch.push(dup);
+    }
+    batch
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn differential_serial_vs_parallel(
+        seed in 0u64..100_000,
+        len in 2usize..7,
+        workers in 2usize..9,
+    ) {
+        let batch = random_batch(seed, len);
+        let serial = run_scenarios(&batch, 1);
+        let parallel = run_scenarios(&batch, workers);
+        prop_assert_eq!(serial.len(), parallel.len());
+        for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+            prop_assert_eq!(
+                s, p,
+                "batch seed {} scenario `{}` diverged at {} workers",
+                seed, batch[i].label(), workers
+            );
+            prop_assert_eq!(s.digest(), p.digest());
+        }
+    }
+
+    #[test]
+    fn differential_cached_vs_uncached(
+        seed in 0u64..100_000,
+        len in 2usize..6,
+    ) {
+        let batch = random_batch(seed, len);
+        let uncached = run_scenarios(&batch, 4);
+        let mut runner = Runner::with_workers(4);
+        let warm = runner.run_batch(&batch);
+        let cached = runner.run_batch(&batch);
+        prop_assert_eq!(&uncached, &warm);
+        prop_assert_eq!(&warm, &cached);
+    }
+}

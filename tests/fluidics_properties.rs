@@ -2,16 +2,19 @@
 //! generator produces, concurrent routes must be fluidically safe and
 //! never slower than the serial baseline by construction of the metric.
 
-use micronano::fluidics::assay::multiplex_immunoassay;
+use micronano::fluidics::assay::{multiplex_immunoassay, Assay};
 use micronano::fluidics::compiler::CompilerConfig;
 use micronano::fluidics::constraints::verify_routes;
-use micronano::fluidics::geometry::Grid;
+use micronano::fluidics::geometry::{Cell, Grid};
+use micronano::fluidics::modules::ModuleLibrary;
+use micronano::fluidics::place::Reservation;
+use micronano::fluidics::schedule::{schedule_with_keepout, Schedule, ScheduleConfig};
 use micronano::fluidics::workload::{random_routing_instance, RoutingWorkload};
 use micronano::fluidics::{
     compile_with_faults, route_concurrent, route_serial, FaultConfig, FaultModel, RoutingConfig,
 };
 use proptest::prelude::*;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(20))]
@@ -134,6 +137,142 @@ proptest! {
             (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
             _ => prop_assert!(false, "same seed diverged between Ok and Err"),
         }
+    }
+}
+
+/// Rebuilds the placer reservations a schedule implies: each module is
+/// held from its landing window (`reserve_from`) until release, which is
+/// `end` plus the transport latency when the operation feeds a consumer
+/// (the hand-off droplet still occupies the region).
+fn implied_reservations(assay: &Assay, sched: &Schedule) -> Vec<Reservation> {
+    let consumers = assay.consumers();
+    sched
+        .entries()
+        .iter()
+        .map(|e| Reservation {
+            origin: e.origin,
+            spec: e.spec,
+            from: e.reserve_from,
+            until: if consumers[e.op.0 as usize].is_empty() {
+                e.end
+            } else {
+                e.end + sched.transport_latency()
+            },
+        })
+        .collect()
+}
+
+fn random_keepout(seed: u64, grid: &Grid, count: usize) -> Vec<Cell> {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            Cell::new(
+                rng.gen_range(0..grid.width()),
+                rng.gen_range(0..grid.height()),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // The scheduler never double-books the array: no two concurrently
+    // live module reservations may overlap, even through the 1-cell
+    // guard band, under any transport latency and keepout set.
+    #[test]
+    fn schedule_never_double_books_modules(
+        seed in 0u64..100_000,
+        plex in 1usize..6,
+        latency in 4u32..32,
+        dead in 0usize..12,
+    ) {
+        let grid = Grid::new(16, 16).expect("valid grid");
+        let keepout = random_keepout(seed, &grid, dead);
+        let assay = multiplex_immunoassay(plex);
+        let cfg = ScheduleConfig { transport_latency: latency };
+        // Heavy keepouts may make the instance unschedulable; the
+        // property binds whatever schedule does come out.
+        let Ok(sched) = schedule_with_keepout(&assay, &grid, &ModuleLibrary::default(), &cfg, &keepout)
+        else {
+            return Ok(());
+        };
+        let reservations = implied_reservations(&assay, &sched);
+        for (i, a) in reservations.iter().enumerate() {
+            for b in &reservations[i + 1..] {
+                prop_assert!(
+                    !a.conflicts(b),
+                    "double-booking: {a:?} and {b:?} overlap in space-time"
+                );
+            }
+        }
+    }
+
+    // No module footprint may touch a keepout cell — that is the whole
+    // point of the keepout — and every footprint stays on the array.
+    #[test]
+    fn schedule_respects_keepouts_and_bounds(
+        seed in 0u64..100_000,
+        plex in 1usize..6,
+        dead in 1usize..14,
+    ) {
+        let grid = Grid::new(16, 16).expect("valid grid");
+        let keepout = random_keepout(seed, &grid, dead);
+        let assay = multiplex_immunoassay(plex);
+        let Ok(sched) = schedule_with_keepout(
+            &assay,
+            &grid,
+            &ModuleLibrary::default(),
+            &ScheduleConfig::default(),
+            &keepout,
+        ) else {
+            return Ok(());
+        };
+        for e in sched.entries() {
+            let max = Cell::new(
+                e.origin.x + e.spec.width - 1,
+                e.origin.y + e.spec.height - 1,
+            );
+            prop_assert!(grid.contains(e.origin) && grid.contains(max));
+            for c in &keepout {
+                let inside = c.x >= e.origin.x && c.x <= max.x && c.y >= e.origin.y && c.y <= max.y;
+                prop_assert!(
+                    !inside,
+                    "module for {:?} at {:?}..{max:?} covers keepout cell {c}",
+                    e.op, e.origin
+                );
+            }
+        }
+    }
+
+    // Producers finish, droplets travel, consumers start: every consumer
+    // begins at least `transport_latency` after each of its producers
+    // ends, and the makespan is the last end tick.
+    #[test]
+    fn schedule_orders_dependencies_with_latency(
+        plex in 1usize..6,
+        latency in 4u32..32,
+    ) {
+        let grid = Grid::new(16, 16).expect("valid grid");
+        let assay = multiplex_immunoassay(plex);
+        let cfg = ScheduleConfig { transport_latency: latency };
+        let sched = schedule_with_keepout(&assay, &grid, &ModuleLibrary::default(), &cfg, &[])
+            .expect("pristine 16×16 array schedules every plex in range");
+        let mut last_end = 0;
+        for e in sched.entries() {
+            prop_assert!(e.start < e.end);
+            prop_assert!(e.reserve_from <= e.start);
+            last_end = last_end.max(e.end);
+            for input in &assay.op(e.op).inputs {
+                let producer = sched.entry(*input);
+                prop_assert!(
+                    e.start >= producer.end + latency,
+                    "{:?} starts at {} before {:?} ends ({}) + latency {}",
+                    e.op, e.start, input, producer.end, latency
+                );
+            }
+        }
+        prop_assert_eq!(sched.makespan(), last_end);
     }
 }
 

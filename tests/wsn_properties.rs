@@ -82,7 +82,102 @@ proptest! {
             prop_assert!(s.wasted >= 0.0);
             prop_assert!(s.min_battery >= 0.0);
             prop_assert!(s.min_battery <= cfg.battery_capacity);
+            prop_assert!(s.harvested >= 0.0);
+            prop_assert!((0.0..=cfg.battery_capacity).contains(&s.final_battery));
+            prop_assert!(s.min_battery <= s.final_battery + 1e-9);
         }
+    }
+
+    // Energy is never created: what the node spent on work plus what it
+    // still holds plus what overflowed can never exceed the initial
+    // charge plus the solar income. (Equality does not hold — brown-out
+    // slots pay sleep power without doing work.)
+    #[test]
+    fn harvest_energy_is_conserved(
+        seed in 0u64..50_000,
+        duty in 0.0f64..1.0,
+        cloudiness in 0.0f64..1.0,
+        days in 1u32..10,
+    ) {
+        let cfg = HarvestConfig {
+            days,
+            seed,
+            solar: SolarModel { cloudiness, ..SolarModel::default() },
+            ..HarvestConfig::default()
+        };
+        for policy in [
+            DutyPolicy::Fixed(duty),
+            DutyPolicy::Greedy { threshold: 0.3, duty_high: duty, duty_low: 0.02 },
+            DutyPolicy::EnergyNeutral { alpha: 0.05 },
+        ] {
+            let s = simulate_harvesting(policy, &cfg);
+            let initial = cfg.battery_capacity * cfg.initial_fraction;
+            // Spending: active work at active_power; every live slot also
+            // pays at least nothing extra here — bound from below by the
+            // work term alone.
+            let spent_on_work = s.work * cfg.active_power;
+            prop_assert!(
+                spent_on_work + s.final_battery + s.wasted <= initial + s.harvested + 1e-6,
+                "{policy:?}: work {} + final {} + wasted {} > initial {} + harvested {}",
+                spent_on_work, s.final_battery, s.wasted, initial, s.harvested
+            );
+            prop_assert!(
+                s.wasted <= s.harvested + 1e-9,
+                "cannot overflow more than was harvested"
+            );
+        }
+    }
+
+    // Solar income is a property of the trace alone: scaling the panel
+    // up (higher peak power) never decreases the harvest, under any
+    // policy, and the policy itself cannot change the income.
+    #[test]
+    fn harvest_income_is_monotone_in_irradiance(
+        seed in 0u64..50_000,
+        cloudiness in 0.0f64..1.0,
+        days in 1u32..8,
+        peak_lo in 0.01f64..0.05,
+        boost in 1.0f64..4.0,
+    ) {
+        let base = HarvestConfig {
+            days,
+            seed,
+            solar: SolarModel {
+                peak_power: peak_lo,
+                cloudiness,
+                ..SolarModel::default()
+            },
+            ..HarvestConfig::default()
+        };
+        let brighter = HarvestConfig {
+            solar: SolarModel {
+                peak_power: peak_lo * boost,
+                ..base.solar
+            },
+            ..base
+        };
+        let policies = [
+            DutyPolicy::Fixed(0.5),
+            DutyPolicy::EnergyNeutral { alpha: 0.05 },
+        ];
+        for policy in policies {
+            let dim = simulate_harvesting(policy, &base);
+            let bright = simulate_harvesting(policy, &brighter);
+            prop_assert!(
+                bright.harvested >= dim.harvested - 1e-9,
+                "{policy:?}: brighter panel harvested {} < {}",
+                bright.harvested, dim.harvested
+            );
+            // The trace scales linearly with peak power.
+            prop_assert!(
+                (bright.harvested - dim.harvested * boost).abs() <= 1e-6 * bright.harvested.max(1.0),
+                "harvest must scale linearly with peak power"
+            );
+        }
+        // Policy-independence of the income itself.
+        let a = simulate_harvesting(policies[0], &base);
+        let b = simulate_harvesting(policies[1], &base);
+        prop_assert!((a.harvested - b.harvested).abs() <= 1e-9);
     }
 
     #[test]
