@@ -101,6 +101,7 @@ pub fn explore_noc_parallel(
     shortcut_budgets: &[usize],
     workers: usize,
 ) -> (Vec<NocDesignPoint>, Vec<usize>) {
+    let _sweep_span = mns_telemetry::span("noc.sweep");
     let mut params = Vec::new();
     let mut scenarios = Vec::new();
     for &max_cluster in cluster_sizes {

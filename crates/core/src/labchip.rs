@@ -174,14 +174,19 @@ impl LabChipPipeline {
     /// Returns [`PipelineError`] if the assay cannot be compiled onto the
     /// configured chip.
     pub fn run(&self, seed: u64) -> Result<PipelineReport, PipelineError> {
+        let _run_span = mns_telemetry::span("labchip.run");
         let cfg = &self.config;
 
         // 1. Compile the transport program for one multiplexed run,
         //    working around injected electrode faults if any.
-        let (compiled, fault_report) = self.compile_run(seed)?;
+        let (compiled, fault_report) = {
+            let _compile_span = mns_telemetry::span("labchip.compile");
+            self.compile_run(seed)?
+        };
 
         // 2. Biology + sensing: implant ground truth, push every sample
         //    through the sensor array.
+        let _sense_span = mns_telemetry::span("labchip.sense");
         let dataset: SyntheticDataset = generate(&cfg.dataset, seed);
         let truth_matrix = &dataset.matrix;
         let array = SensorArray::uniform(cfg.dataset.genes, cfg.kinetics, cfg.sensor);
@@ -207,8 +212,10 @@ impl LabChipPipeline {
             }
         }
         let sensing_error = err_acc / (cfg.dataset.genes * cfg.dataset.samples) as f64;
+        drop(_sense_span);
 
         // 3. Interpretation: binarize measured data and mine exactly.
+        let _interpret_span = mns_telemetry::span("labchip.interpret");
         let threshold = cfg.dataset.background + cfg.dataset.boost / 2.0;
         let binary: BinaryMatrix = binarize_with_threshold(&measured, threshold);
         let mining = enumerate_maximal(&binary, &cfg.miner);
@@ -265,10 +272,17 @@ impl LabChipPipeline {
                     report.forced_stalls = compiled.stats.forced_stalls;
                     report.abandoned_transports = compiled.stats.abandoned;
                     report.samples_dropped = cfg.samples_per_run.max(1) - plex;
+                    mns_telemetry::counter_add(
+                        "labchip.samples_dropped",
+                        report.samples_dropped as u64,
+                    );
                     return Ok((compiled, report));
                 }
                 Err(e) if plex <= floor => return Err(e.into()),
-                Err(_) => plex -= 1,
+                Err(_) => {
+                    mns_telemetry::counter_add("labchip.plex_retries", 1);
+                    plex -= 1;
+                }
             }
         }
     }

@@ -32,7 +32,6 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::thread;
 
@@ -223,6 +222,19 @@ pub enum Scenario {
 }
 
 impl Scenario {
+    /// Telemetry span name for this scenario family (stable across
+    /// parameter changes, so traces aggregate by kind).
+    pub fn family(&self) -> &'static str {
+        match self {
+            Scenario::FluidicsCompile(_) => "scenario.fluidics",
+            Scenario::LabChip(_) => "scenario.labchip",
+            Scenario::NocPoint(_) => "scenario.noc",
+            Scenario::WsnLifetime(_) => "scenario.wsn",
+            Scenario::Harvest(_) => "scenario.harvest",
+            Scenario::Knockout(_) => "scenario.knockout",
+        }
+    }
+
     /// Stable cache key: FNV-1a over a canonical encoding of every
     /// parameter (tag first, floats by bit pattern).
     pub fn fingerprint(&self) -> u64 {
@@ -801,6 +813,59 @@ pub struct RunnerStats {
     pub steals: u64,
 }
 
+/// Counters for one worker thread within a single batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerBatchStats {
+    /// Scenarios this worker evaluated.
+    pub executed: u64,
+    /// Jobs this worker took from a sibling's queue.
+    pub steals: u64,
+    /// Cache hits attributed to this worker. Hits resolve on the
+    /// submitting thread before the pool spins up, so they are all
+    /// charged to worker 0.
+    pub cache_hits: u64,
+}
+
+/// Per-batch execution breakdown returned by [`Runner::run_batch_stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Scenarios submitted in the batch.
+    pub scenarios: u64,
+    /// Scenarios actually evaluated (after cache and in-batch dedup).
+    pub executed: u64,
+    /// Outcomes served from the cross-batch fingerprint cache.
+    pub cache_hits: u64,
+    /// Duplicate submissions collapsed inside this batch.
+    pub deduped: u64,
+    /// Jobs taken from a sibling's queue, summed over workers.
+    pub steals: u64,
+    /// Per-worker breakdown, indexed by worker id. Length is the worker
+    /// count the batch actually used (1 for serial or small batches).
+    pub per_worker: Vec<WorkerBatchStats>,
+}
+
+impl BatchStats {
+    /// Evaluations done by the busiest worker (0 for an all-cached batch).
+    pub fn max_worker_executed(&self) -> u64 {
+        self.per_worker
+            .iter()
+            .map(|w| w.executed)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Load imbalance: busiest worker's share of evaluations relative to
+    /// a perfect split (1.0 = perfectly balanced; 0.0 when nothing ran).
+    pub fn balance(&self) -> f64 {
+        let max = self.max_worker_executed();
+        if max == 0 || self.per_worker.is_empty() {
+            return 0.0;
+        }
+        let ideal = self.executed as f64 / self.per_worker.len() as f64;
+        (ideal / max as f64).min(1.0)
+    }
+}
+
 /// One worker thread per available hardware thread (the default worker
 /// count for `RunnerConfig { workers: 0, .. }`).
 pub fn default_workers() -> usize {
@@ -896,27 +961,57 @@ impl Runner {
     /// pure function of its own fields, the schedule cannot affect the
     /// result — only the wall clock.
     pub fn run_batch(&mut self, scenarios: &[Scenario]) -> Vec<ScenarioOutcome> {
+        self.run_batch_stats(scenarios).0
+    }
+
+    /// [`run_batch`](Runner::run_batch) plus a per-worker execution
+    /// breakdown for the batch (evaluations, steals and cache hits per
+    /// worker). The outcomes are identical to `run_batch`; only the
+    /// bookkeeping differs.
+    pub fn run_batch_stats(
+        &mut self,
+        scenarios: &[Scenario],
+    ) -> (Vec<ScenarioOutcome>, BatchStats) {
+        let _batch_span = mns_telemetry::span("runner.run_batch");
         let fingerprints: Vec<u64> = scenarios.iter().map(Scenario::fingerprint).collect();
         let mut out: Vec<Option<ScenarioOutcome>> = vec![None; scenarios.len()];
         // Resolve cache hits and pick one representative index per
         // distinct uncached fingerprint.
         let mut pending: HashSet<u64> = HashSet::new();
         let mut jobs: Vec<usize> = Vec::new();
+        let mut batch = BatchStats {
+            scenarios: scenarios.len() as u64,
+            ..BatchStats::default()
+        };
         for (i, &fp) in fingerprints.iter().enumerate() {
             if self.cache_enabled {
                 if let Some(hit) = self.cache.get(&fp) {
                     out[i] = Some(hit.clone());
                     self.stats.cache_hits += 1;
+                    batch.cache_hits += 1;
                     continue;
                 }
             }
             if pending.insert(fp) {
                 jobs.push(i);
+            } else {
+                batch.deduped += 1;
             }
         }
 
-        let fresh = self.execute(scenarios, &jobs);
+        let (fresh, per_worker) = self.execute(scenarios, &jobs);
         self.stats.executed += fresh.len() as u64;
+        batch.executed = fresh.len() as u64;
+        batch.steals = per_worker.iter().map(|w| w.steals).sum();
+        batch.per_worker = per_worker;
+        if let Some(w0) = batch.per_worker.first_mut() {
+            // Hits resolve on the submitting thread: charge worker 0.
+            w0.cache_hits = batch.cache_hits;
+        }
+        mns_telemetry::counter_add("runner.executed", batch.executed);
+        mns_telemetry::counter_add("runner.cache_hits", batch.cache_hits);
+        mns_telemetry::counter_add("runner.deduped", batch.deduped);
+        mns_telemetry::counter_add("runner.steals", batch.steals);
         let mut by_fp: HashMap<u64, ScenarioOutcome> = HashMap::with_capacity(fresh.len());
         for (idx, outcome) in fresh {
             if self.cache_enabled {
@@ -934,17 +1029,44 @@ impl Runner {
                 );
             }
         }
-        out.into_iter()
+        let outcomes = out
+            .into_iter()
             .map(|o| o.expect("all slots filled"))
-            .collect()
+            .collect();
+        (outcomes, batch)
+    }
+
+    /// Evaluates one job on whatever thread is running it, under a
+    /// detached task span keyed by submission index. Detached spans flush
+    /// straight to the collector, so serial (inline) and parallel (worker
+    /// thread) execution produce the same trace shape.
+    fn evaluate(scenarios: &[Scenario], i: usize) -> (usize, ScenarioOutcome) {
+        if !mns_telemetry::is_enabled() {
+            return (i, scenarios[i].run());
+        }
+        let _task_span = mns_telemetry::task_span(scenarios[i].family(), i as u64);
+        let t0 = std::time::Instant::now();
+        let outcome = scenarios[i].run();
+        mns_telemetry::observe("runner.evaluate_ns", t0.elapsed().as_nanos() as u64);
+        (i, outcome)
     }
 
     /// Runs the job list (indices into `scenarios`) across the worker
-    /// pool and returns `(index, outcome)` pairs in arbitrary order.
-    fn execute(&mut self, scenarios: &[Scenario], jobs: &[usize]) -> Vec<(usize, ScenarioOutcome)> {
+    /// pool; returns `(index, outcome)` pairs in arbitrary order plus
+    /// one [`WorkerBatchStats`] per worker actually used.
+    fn execute(
+        &mut self,
+        scenarios: &[Scenario],
+        jobs: &[usize],
+    ) -> (Vec<(usize, ScenarioOutcome)>, Vec<WorkerBatchStats>) {
         let workers = self.workers.min(jobs.len());
         if workers <= 1 {
-            return jobs.iter().map(|&i| (i, scenarios[i].run())).collect();
+            let results = jobs.iter().map(|&i| Self::evaluate(scenarios, i)).collect();
+            let solo = WorkerBatchStats {
+                executed: jobs.len() as u64,
+                ..WorkerBatchStats::default()
+            };
+            return (results, vec![solo]);
         }
 
         // Deal jobs round-robin so each worker starts with a spread of
@@ -957,49 +1079,64 @@ impl Runner {
                 .expect("queue lock")
                 .push_back(job);
         }
-        let steals = AtomicU64::new(0);
 
-        let mut results: Vec<(usize, ScenarioOutcome)> = thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|me| {
-                    let queues = &queues;
-                    let steals = &steals;
-                    scope.spawn(move || {
-                        let mut local: Vec<(usize, ScenarioOutcome)> = Vec::new();
-                        loop {
-                            // Own queue first (front: submission order)…
-                            let mut job = queues[me].lock().expect("queue lock").pop_front();
-                            if job.is_none() {
-                                // …then steal from a sibling's tail. All
-                                // jobs are dealt before the scope starts,
-                                // so an empty sweep means we are done.
-                                for off in 1..queues.len() {
-                                    let victim = (me + off) % queues.len();
-                                    job = queues[victim].lock().expect("queue lock").pop_back();
-                                    if job.is_some() {
-                                        steals.fetch_add(1, Ordering::Relaxed);
-                                        break;
+        let (mut results, per_worker): (Vec<(usize, ScenarioOutcome)>, Vec<WorkerBatchStats>) =
+            thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|me| {
+                        let queues = &queues;
+                        scope.spawn(move || {
+                            let telemetry = mns_telemetry::is_enabled();
+                            let mut local: Vec<(usize, ScenarioOutcome)> = Vec::new();
+                            let mut mine = WorkerBatchStats::default();
+                            loop {
+                                let wait_t0 = telemetry.then(std::time::Instant::now);
+                                // Own queue first (front: submission order)…
+                                let mut job = queues[me].lock().expect("queue lock").pop_front();
+                                if job.is_none() {
+                                    // …then steal from a sibling's tail. All
+                                    // jobs are dealt before the scope starts,
+                                    // so an empty sweep means we are done.
+                                    for off in 1..queues.len() {
+                                        let victim = (me + off) % queues.len();
+                                        job = queues[victim].lock().expect("queue lock").pop_back();
+                                        if job.is_some() {
+                                            mine.steals += 1;
+                                            break;
+                                        }
                                     }
                                 }
+                                if let Some(t0) = wait_t0 {
+                                    mns_telemetry::observe(
+                                        "runner.queue_wait_ns",
+                                        t0.elapsed().as_nanos() as u64,
+                                    );
+                                }
+                                match job {
+                                    Some(i) => {
+                                        mine.executed += 1;
+                                        local.push(Self::evaluate(scenarios, i));
+                                    }
+                                    None => break,
+                                }
                             }
-                            match job {
-                                Some(i) => local.push((i, scenarios[i].run())),
-                                None => break,
-                            }
-                        }
-                        local
+                            (local, mine)
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("scenario worker panicked"))
-                .collect()
-        });
-        self.stats.steals += steals.load(Ordering::Relaxed);
+                    .collect();
+                let mut all: Vec<(usize, ScenarioOutcome)> = Vec::new();
+                let mut stats: Vec<WorkerBatchStats> = Vec::with_capacity(workers);
+                for h in handles {
+                    let (local, mine) = h.join().expect("scenario worker panicked");
+                    all.extend(local);
+                    stats.push(mine);
+                }
+                (all, stats)
+            });
+        self.stats.steals += per_worker.iter().map(|w| w.steals).sum::<u64>();
         // Deterministic post-condition regardless of steal order.
         results.sort_unstable_by_key(|(i, _)| *i);
-        results
+        (results, per_worker)
     }
 }
 
@@ -1237,6 +1374,58 @@ mod tests {
         digests.sort_unstable();
         digests.dedup();
         assert_eq!(digests.len(), outs.len());
+    }
+
+    #[test]
+    fn batch_stats_account_for_every_scenario() {
+        let batch = small_batch();
+        let mut runner = Runner::with_workers(2);
+        let (out, stats) = runner.run_batch_stats(&batch);
+        assert_eq!(out.len(), batch.len());
+        assert_eq!(stats.scenarios, batch.len() as u64);
+        assert_eq!(stats.executed, batch.len() as u64);
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.deduped, 0);
+        // Workers partition the evaluations exactly.
+        let per_worker_sum: u64 = stats.per_worker.iter().map(|w| w.executed).sum();
+        assert_eq!(per_worker_sum, stats.executed);
+        assert!(!stats.per_worker.is_empty());
+        assert!(stats.per_worker.len() <= 2);
+        assert!((0.0..=1.0).contains(&stats.balance()));
+
+        // A repeat sweep is all cache hits, charged to worker 0.
+        let (again, cached) = runner.run_batch_stats(&batch);
+        assert_eq!(again, out);
+        assert_eq!(cached.executed, 0);
+        assert_eq!(cached.cache_hits, batch.len() as u64);
+        assert_eq!(cached.per_worker[0].cache_hits, batch.len() as u64);
+        assert_eq!(cached.max_worker_executed(), 0);
+        assert_eq!(cached.balance(), 0.0);
+    }
+
+    #[test]
+    fn batch_stats_count_in_batch_duplicates() {
+        let one = small_batch().remove(0);
+        let batch = vec![one.clone(), one.clone(), one];
+        let (_, stats) = Runner::serial().run_batch_stats(&batch);
+        assert_eq!(stats.scenarios, 3);
+        assert_eq!(stats.executed, 1);
+        assert_eq!(stats.deduped, 2);
+        assert_eq!(stats.per_worker.len(), 1);
+        assert_eq!(stats.per_worker[0].executed, 1);
+    }
+
+    #[test]
+    fn scenario_families_are_stable_labels() {
+        let corpus = conformance_corpus(42);
+        for s in &corpus {
+            assert!(s.family().starts_with("scenario."), "{}", s.family());
+        }
+        let batch = small_batch();
+        assert_eq!(batch[0].family(), "scenario.harvest");
+        assert_eq!(batch[1].family(), "scenario.wsn");
+        assert_eq!(batch[2].family(), "scenario.knockout");
+        assert_eq!(batch[3].family(), "scenario.noc");
     }
 
     #[test]

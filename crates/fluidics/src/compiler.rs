@@ -194,6 +194,7 @@ pub fn compile_with_faults(
     config: &CompilerConfig,
     faults: &FaultModel,
 ) -> Result<CompiledAssay, CompileError> {
+    let _compile_span = mns_telemetry::span("fluidics.compile");
     let grid = Grid::new(config.grid_width, config.grid_height)?;
     let keepout = faults.placement_keepout();
     let fault_obstacles = faults.obstacles();
@@ -214,16 +215,23 @@ pub fn compile_with_faults(
         let mut sched_cfg = config.schedule;
         let mut last_err = None;
         for retry in 0..=config.max_latency_retries {
-            let sched = schedule_with_keepout(assay, &grid, &config.library, &sched_cfg, &keepout)?;
-            match route_schedule(
-                assay,
-                &grid,
-                &sched,
-                &config.routing,
-                &fault_obstacles,
-                degraded,
-                &abandoned,
-            ) {
+            let sched = {
+                let _schedule_span = mns_telemetry::span("fluidics.schedule");
+                schedule_with_keepout(assay, &grid, &config.library, &sched_cfg, &keepout)?
+            };
+            let routed = {
+                let _route_span = mns_telemetry::span("fluidics.route");
+                route_schedule(
+                    assay,
+                    &grid,
+                    &sched,
+                    &config.routing,
+                    &fault_obstacles,
+                    degraded,
+                    &abandoned,
+                )
+            };
+            match routed {
                 Ok((routes, edges)) => {
                     // Merge partners are routes feeding the same consumer
                     // op — the precise definition, from the edge list.
@@ -232,6 +240,7 @@ pub fn compile_with_faults(
                     if !violations.is_empty() {
                         return Err(CompileError::UnsafeRoutes(violations.len()));
                     }
+                    let _program_span = mns_telemetry::span("fluidics.program");
                     let program = build_program(assay, &sched, &routes);
                     let abandoned_edges: Vec<(OpId, OpId)> = {
                         let all = edge_list(assay);
@@ -258,6 +267,7 @@ pub fn compile_with_faults(
                 }
                 Err(e) => {
                     reroutes += 1;
+                    mns_telemetry::counter_add("fluidics.reroutes", 1);
                     last_err = Some(e);
                     sched_cfg.transport_latency *= 2;
                 }
@@ -270,6 +280,7 @@ pub fn compile_with_faults(
         match next_sacrifice {
             Some(&i) if !faults.is_empty() => {
                 abandoned.insert(i);
+                mns_telemetry::counter_add("fluidics.abandoned_transports", 1);
             }
             _ => {
                 return Err(CompileError::Route(

@@ -262,10 +262,12 @@ pub fn schedule_with_keepout(
                     }
                     instants.insert(end);
                     placed = true;
+                    mns_telemetry::counter_add("fluidics.ops_placed", 1);
                     break;
                 }
             }
             if !placed {
+                mns_telemetry::counter_add("fluidics.place_failures", 1);
                 // Detect a module that can never fit, keepout included.
                 let empty_fits = library.options(&op.kind).iter().any(|spec| {
                     Placer::with_keepout(*grid, keepout.to_vec())

@@ -75,6 +75,7 @@ pub enum ScreenKind {
 /// Propagates [`NetworkError`] from perturbation application (cannot occur
 /// for genes taken from the network itself; kept for API stability).
 pub fn single_gene_screen(net: &BooleanNetwork, kind: ScreenKind) -> Result<Screen, NetworkError> {
+    let _screen_span = mns_telemetry::span("grn.screen");
     let mut wild_sym = SymbolicDynamics::new(net);
     let wild_type = wild_sym.fixed_point_states();
 
@@ -88,6 +89,8 @@ pub fn single_gene_screen(net: &BooleanNetwork, kind: ScreenKind) -> Result<Scre
 
     let mut entries = Vec::with_capacity(perturbations.len());
     for p in perturbations {
+        let _perturbation_span = mns_telemetry::span("grn.perturbation");
+        mns_telemetry::counter_add("grn.perturbations", 1);
         let mutant = net.with_perturbation(&p)?;
         let mut sym = SymbolicDynamics::new(&mutant);
         let fixed_points = sym.fixed_point_states();

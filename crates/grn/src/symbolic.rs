@@ -141,6 +141,7 @@ impl SymbolicDynamics {
 
     /// Materializes the fixed points as packed states.
     pub fn fixed_point_states(&mut self) -> Vec<State> {
+        let _span = mns_telemetry::span("grn.fixed_points");
         let fps = self.fixed_point_set();
         self.states_of(fps)
     }

@@ -208,6 +208,7 @@ pub fn channel_dependencies_acyclic(paths: &[Vec<usize>]) -> bool {
 /// Returns [`RoutingError`] for unmapped cores or disconnected endpoint
 /// pairs.
 pub fn compute_routes(topo: &Topology, app: &CommGraph) -> Result<Routes, RoutingError> {
+    let _route_span = mns_telemetry::span("noc.route");
     let order = if topo.mesh_dims().is_none() {
         Some(updown_order(topo))
     } else {

@@ -241,6 +241,7 @@ fn greedy_merge(app: &CommGraph, config: &SynthesisConfig) -> Topology {
 /// Panics if `max_cluster` is zero.
 pub fn synthesize(app: &CommGraph, config: &SynthesisConfig) -> Topology {
     assert!(config.max_cluster > 0, "cluster size must be positive");
+    let _synthesis_span = mns_telemetry::span("noc.synthesize");
     if config.strategy == Strategy::GreedyMerge {
         return greedy_merge(app, config);
     }
@@ -253,7 +254,10 @@ pub fn synthesize(app: &CommGraph, config: &SynthesisConfig) -> Topology {
         next_router: 0,
     };
     let all: Vec<usize> = (0..app.cores()).collect();
-    builder.build(&all);
+    {
+        let _partition_span = mns_telemetry::span("noc.partition");
+        builder.build(&all);
+    }
     let mut topo = Topology::irregular(
         builder.next_router,
         builder.links.clone(),
@@ -262,6 +266,7 @@ pub fn synthesize(app: &CommGraph, config: &SynthesisConfig) -> Topology {
 
     // Shortcut insertion: heaviest flows whose attachment routers are far
     // apart in the tree get a direct link, within the degree budget.
+    let _shortcut_span = mns_telemetry::span("noc.shortcuts");
     let mut candidates: Vec<(f64, usize, usize)> = app
         .flows()
         .iter()

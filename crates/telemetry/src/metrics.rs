@@ -1,0 +1,259 @@
+//! Named counters and histograms.
+//!
+//! Counters are monotonic `u64` accumulators; histograms record value
+//! distributions in power-of-two buckets with exact count/sum/min/max.
+//! Both live in process-wide registries keyed by name (`BTreeMap`, so
+//! every snapshot iterates in one deterministic order). When telemetry
+//! is disabled the record functions return before touching any lock or
+//! allocating the name.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Power-of-two bucket count: bucket `i` holds values whose bit length
+/// is `i` (bucket 0 is the value zero, the last bucket is everything
+/// with 63+ significant bits).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A fixed-bucket histogram with exact summary statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Values recorded.
+    pub count: u64,
+    /// Sum of recorded values (saturating).
+    pub sum: u64,
+    /// Smallest recorded value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Power-of-two buckets by bit length of the value.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Adds one observation.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        let bucket = (64 - value.leading_zeros()) as usize;
+        self.buckets[bucket.min(HISTOGRAM_BUCKETS - 1)] += 1;
+    }
+
+    /// Arithmetic mean (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+}
+
+static COUNTERS: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
+static HISTOGRAMS: Mutex<BTreeMap<String, Histogram>> = Mutex::new(BTreeMap::new());
+
+pub(crate) fn counter_add(name: &str, delta: u64) {
+    let mut counters = COUNTERS.lock().expect("counter registry lock");
+    match counters.get_mut(name) {
+        Some(v) => *v = v.saturating_add(delta),
+        None => {
+            counters.insert(name.to_owned(), delta);
+        }
+    }
+}
+
+pub(crate) fn observe(name: &str, value: u64) {
+    let mut hists = HISTOGRAMS.lock().expect("histogram registry lock");
+    match hists.get_mut(name) {
+        Some(h) => h.record(value),
+        None => {
+            let mut h = Histogram::default();
+            h.record(value);
+            hists.insert(name.to_owned(), h);
+        }
+    }
+}
+
+/// A point-in-time copy of every counter and histogram, in name order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// One counter's value (0 when absent — a counter never incremented
+    /// is indistinguishable from one at zero).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Plain-text rendering, one metric per line, stable ordering —
+    /// the unit of regression diffing:
+    ///
+    /// ```text
+    /// counter runner.executed 23
+    /// hist runner.evaluate_ns count=23 sum=412345 min=102 max=99021 mean=17928.04
+    /// ```
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# mns-telemetry metrics snapshot v1\n");
+        for (name, value) in &self.counters {
+            out.push_str(&format!("counter {name} {value}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "hist {name} count={} sum={} min={} max={} mean={:.2}\n",
+                h.count,
+                h.sum,
+                if h.count == 0 { 0 } else { h.min },
+                h.max,
+                h.mean()
+            ));
+        }
+        out
+    }
+}
+
+/// Checks that `text` is a well-formed snapshot rendering and returns
+/// the number of metric lines.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn validate_snapshot_text(text: &str) -> Result<usize, String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(header) if header.starts_with("# mns-telemetry metrics snapshot") => {}
+        other => return Err(format!("bad snapshot header: {other:?}")),
+    }
+    let mut metrics = 0usize;
+    for (i, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields.first() {
+            Some(&"counter") => {
+                if fields.len() != 3 || fields[2].parse::<u64>().is_err() {
+                    return Err(format!("line {}: bad counter line `{line}`", i + 2));
+                }
+            }
+            Some(&"hist") => {
+                if fields.len() != 7 {
+                    return Err(format!("line {}: bad hist line `{line}`", i + 2));
+                }
+                for (field, key) in fields[2..6].iter().zip(["count", "sum", "min", "max"]) {
+                    let ok = field
+                        .strip_prefix(key)
+                        .and_then(|rest| rest.strip_prefix('='))
+                        .is_some_and(|v| v.parse::<u64>().is_ok());
+                    if !ok {
+                        return Err(format!("line {}: bad `{key}` in `{line}`", i + 2));
+                    }
+                }
+            }
+            _ => return Err(format!("line {}: unknown record `{line}`", i + 2)),
+        }
+        metrics += 1;
+    }
+    Ok(metrics)
+}
+
+pub(crate) fn snapshot() -> MetricsSnapshot {
+    MetricsSnapshot {
+        counters: COUNTERS.lock().expect("counter registry lock").clone(),
+        histograms: HISTOGRAMS.lock().expect("histogram registry lock").clone(),
+    }
+}
+
+pub(crate) fn clear() {
+    COUNTERS.lock().expect("counter registry lock").clear();
+    HISTOGRAMS.lock().expect("histogram registry lock").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1006);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1000);
+        assert!((h.mean() - 201.2).abs() < 1e-9);
+        assert_eq!(h.buckets[0], 1); // the zero
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[2], 2); // 2, 3
+        assert_eq!(h.buckets[10], 1); // 1000
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = Histogram::default();
+        a.record(4);
+        let mut b = Histogram::default();
+        b.record(16);
+        a.merge(&b);
+        assert_eq!(a.count, 2);
+        assert_eq!(a.sum, 20);
+        assert_eq!(a.min, 4);
+        assert_eq!(a.max, 16);
+    }
+
+    #[test]
+    fn snapshot_text_round_trip_validates() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("a.b".to_owned(), 7);
+        let mut h = Histogram::default();
+        h.record(3);
+        snap.histograms.insert("c.d_ns".to_owned(), h);
+        let text = snap.to_text();
+        assert_eq!(validate_snapshot_text(&text), Ok(2));
+        assert!(validate_snapshot_text("garbage").is_err());
+        assert!(
+            validate_snapshot_text("# mns-telemetry metrics snapshot v1\ncounter x y\n").is_err()
+        );
+    }
+
+    #[test]
+    fn empty_histogram_mean_is_nan() {
+        assert!(Histogram::default().mean().is_nan());
+    }
+}

@@ -151,11 +151,13 @@ pub struct HarvestStats {
 ///
 /// Panics on non-positive capacity, slot, or day count.
 pub fn simulate_harvesting(policy: DutyPolicy, config: &HarvestConfig) -> HarvestStats {
+    let _sim_span = mns_telemetry::span("wsn.harvest");
     assert!(config.battery_capacity > 0.0, "capacity must be positive");
     assert!(config.slot > 0.0, "slot must be positive");
     assert!(config.days > 0, "need at least one day");
 
     let total_slots = ((config.days as f64 * config.solar.day_length / config.slot) as u64).max(1);
+    mns_telemetry::counter_add("wsn.harvest_slots", total_slots);
     let mut battery = config.battery_capacity * config.initial_fraction.clamp(0.0, 1.0);
     let mut ewma = 0.0f64;
     let mut work = 0.0;

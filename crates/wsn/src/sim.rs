@@ -78,6 +78,7 @@ pub fn simulate_lifetime(
     protocol: Protocol,
     config: &LifetimeConfig,
 ) -> LifetimeStats {
+    let _sim_span = mns_telemetry::span("wsn.lifetime");
     let n = field.nodes();
     let mut battery = vec![config.initial_energy; n];
     let mut failed = vec![false; n];
@@ -144,6 +145,7 @@ pub fn simulate_lifetime(
                     None => true,
                 };
                 if rebuild {
+                    mns_telemetry::counter_add("wsn.tree_rebuilds", 1);
                     let mut parent: Vec<Option<usize>> = vec![None; n]; // None = unattached
                     let mut depth: Vec<u64> = vec![u64::MAX; n];
                     let mut frontier: Vec<usize> = Vec::new();
@@ -311,6 +313,7 @@ pub fn simulate_lifetime(
             break;
         }
     }
+    mns_telemetry::counter_add("wsn.rounds", round);
 
     LifetimeStats {
         first_death_round: first_death.unwrap_or(round),

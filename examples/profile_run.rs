@@ -1,0 +1,131 @@
+//! Profile an instrumented scenario batch end to end.
+//!
+//! Enables telemetry with the wall clock, runs a mixed batch (fluidics
+//! compiles, a lab-on-chip pipeline, NoC design points, WSN lifetimes,
+//! a harvesting policy and a GRN knockout) across every hardware thread,
+//! then exports all three profile formats and validates each one:
+//!
+//! * `target/profile/trace.json` — Chrome Trace Event JSON; load in
+//!   `chrome://tracing` or <https://ui.perfetto.dev>.
+//! * `target/profile/folded.txt` — flamegraph folded stacks for
+//!   `flamegraph.pl` / inferno.
+//! * `target/profile/metrics.txt` — plain-text counters + histograms.
+//!
+//! ```sh
+//! cargo run --release --example profile_run
+//! ```
+
+use std::sync::Arc;
+
+use micronano::core::runner::{
+    FluidicsScenario, GrnModel, HarvestScenario, KnockoutScenario, LabChipScenario, NocScenario,
+    Runner, Scenario, WsnScenario,
+};
+use micronano::noc::graph::CommGraph;
+use micronano::telemetry;
+use micronano::wsn::harvest::DutyPolicy;
+use micronano::wsn::protocol::Protocol;
+
+fn mixed_batch() -> Vec<Scenario> {
+    let mut batch = vec![
+        Scenario::FluidicsCompile(FluidicsScenario {
+            plex: 4,
+            grid_side: 16,
+            dead_fraction: 0.04,
+            fault_seed: 7,
+        }),
+        Scenario::LabChip(LabChipScenario {
+            seed: 42,
+            samples_per_run: 4,
+            dead_fraction: 0.02,
+            fault_seed: 9,
+        }),
+        Scenario::WsnLifetime(WsnScenario {
+            nodes: 40,
+            side: 120.0,
+            protocol: Protocol::tree(45.0, true),
+            failure_rate: 0.0,
+            max_rounds: 400,
+            seed: 3,
+        }),
+        Scenario::Harvest(HarvestScenario {
+            policy: DutyPolicy::EnergyNeutral { alpha: 0.01 },
+            days: 10,
+            cloudiness: 0.4,
+            seed: 5,
+        }),
+        Scenario::Knockout(KnockoutScenario {
+            model: GrnModel::THelper,
+            knockout: Some("GATA3".to_owned()),
+        }),
+    ];
+    let app = CommGraph::hotspot(16, 1.0);
+    for &(max_cluster, shortcuts) in &[(2usize, 0usize), (4, 2), (4, 4), (8, 4)] {
+        batch.push(Scenario::NocPoint(NocScenario {
+            app: app.clone(),
+            max_cluster,
+            shortcuts,
+        }));
+    }
+    batch
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("micronano profile_run — instrumented batch, all exporters\n");
+
+    telemetry::enable(Arc::new(telemetry::WallClock::default()));
+    let batch = mixed_batch();
+    let mut runner = Runner::new(Default::default());
+    let (outcomes, stats) = runner.run_batch_stats(&batch);
+    telemetry::disable();
+
+    println!(
+        "ran {} scenarios on {} workers: {} evaluated, {} cached, {} deduped, {} steals",
+        outcomes.len(),
+        runner.workers(),
+        stats.executed,
+        stats.cache_hits,
+        stats.deduped,
+        stats.steals,
+    );
+    for (w, ws) in stats.per_worker.iter().enumerate() {
+        println!(
+            "  worker {w}: executed {:>2}  steals {:>2}  cache hits {:>2}",
+            ws.executed, ws.steals, ws.cache_hits
+        );
+    }
+    println!("  load balance: {:.2}\n", stats.balance());
+
+    let trace = telemetry::take_trace();
+    let snap = telemetry::snapshot();
+
+    let dir = std::path::Path::new("target/profile");
+    std::fs::create_dir_all(dir)?;
+
+    let chrome = telemetry::chrome_trace(&trace);
+    let summary = telemetry::validate_chrome_trace(&chrome).map_err(|e| format!("trace: {e}"))?;
+    std::fs::write(dir.join("trace.json"), &chrome)?;
+    println!(
+        "trace.json    {} events, {} spans, {} lanes — valid",
+        summary.events, summary.spans, summary.tracks
+    );
+
+    let folded = telemetry::folded_stacks(&trace);
+    let stacks = telemetry::validate_folded(&folded).map_err(|e| format!("folded: {e}"))?;
+    std::fs::write(dir.join("folded.txt"), &folded)?;
+    println!("folded.txt    {stacks} distinct stacks — valid");
+
+    let text = snap.to_text();
+    let series = telemetry::validate_snapshot_text(&text).map_err(|e| format!("metrics: {e}"))?;
+    std::fs::write(dir.join("metrics.txt"), &text)?;
+    println!("metrics.txt   {series} series — valid\n");
+
+    println!("deepest span chain: {} levels", deepest(&trace));
+    println!("metrics snapshot:\n{text}");
+    println!("wrote target/profile/{{trace.json, folded.txt, metrics.txt}}");
+    Ok(())
+}
+
+fn deepest(trace: &telemetry::Trace) -> usize {
+    trace.roots.iter().map(|r| r.depth()).max().unwrap_or(0)
+}

@@ -21,6 +21,8 @@
 //!   and run-time management policies,
 //! * [`dd`] — the shared BDD/ZDD decision-diagram package,
 //! * [`sim`] — the deterministic discrete-event kernel,
+//! * [`telemetry`] — deterministic tracing/metrics with Chrome-trace,
+//!   folded-stack and metrics-snapshot exporters (off by default),
 //! * [`core`] — the system-level co-design layer tying the domains together
 //!   (most notably the end-to-end lab-on-chip compiler).
 //!
@@ -50,4 +52,5 @@ pub use mns_fluidics as fluidics;
 pub use mns_grn as grn;
 pub use mns_noc as noc;
 pub use mns_sim as sim;
+pub use mns_telemetry as telemetry;
 pub use mns_wsn as wsn;
