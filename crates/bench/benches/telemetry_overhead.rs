@@ -12,8 +12,8 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mns_core::runner::{
-    run_scenarios, FluidicsScenario, GrnModel, HarvestScenario, KnockoutScenario, NocScenario,
-    Scenario, WsnScenario,
+    FluidicsScenario, GrnModel, HarvestScenario, KnockoutScenario, NocScenario, RunnerConfig,
+    Scenario, ScenarioOutcome, WsnScenario,
 };
 use mns_noc::graph::CommGraph;
 use mns_wsn::harvest::DutyPolicy;
@@ -59,6 +59,15 @@ fn mixed_batch() -> Vec<Scenario> {
     ]
 }
 
+fn run_plain(batch: &[Scenario]) -> Vec<ScenarioOutcome> {
+    RunnerConfig::new()
+        .workers(2)
+        .cache(false)
+        .build()
+        .run(batch)
+        .outcomes
+}
+
 fn bench_telemetry_overhead(c: &mut Criterion) {
     let batch = mixed_batch();
     let mut group = c.benchmark_group("telemetry_overhead");
@@ -69,13 +78,13 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     group.bench_function("disabled", |b| {
         mns_telemetry::disable();
         mns_telemetry::reset();
-        b.iter(|| run_scenarios(&batch, 2));
+        b.iter(|| run_plain(&batch));
     });
 
     group.bench_function("wall_clock", |b| {
         mns_telemetry::enable(Arc::new(mns_telemetry::WallClock::default()));
         b.iter(|| {
-            let out = run_scenarios(&batch, 2);
+            let out = run_plain(&batch);
             let trace = mns_telemetry::take_trace();
             assert!(!trace.is_empty());
             out
@@ -87,7 +96,7 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     group.bench_function("virtual_clock", |b| {
         mns_telemetry::enable(Arc::new(mns_telemetry::VirtualClock::default()));
         b.iter(|| {
-            let out = run_scenarios(&batch, 2);
+            let out = run_plain(&batch);
             let trace = mns_telemetry::take_trace();
             assert!(!trace.is_empty());
             out

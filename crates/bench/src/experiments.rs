@@ -9,9 +9,9 @@ use mns_bicluster::zdd_miner::{enumerate_maximal, MinerConfig};
 use mns_biosensor::array::{SensorArray, SensorConfig};
 use mns_biosensor::expression::{generate, SyntheticDatasetConfig};
 use mns_biosensor::kinetics::BindingKinetics;
-use mns_core::explore::explore_noc_parallel;
+use mns_core::explore::explore_noc_with;
 use mns_core::report::{fmt_f64, Table};
-use mns_core::runner::{default_workers, run_scenarios, NocScenario, Runner, Scenario};
+use mns_core::runner::{default_workers, NocScenario, Runner, RunnerConfig, Scenario};
 use mns_crossbar::mapping::mapping_yield;
 use mns_fluidics::assay::multiplex_immunoassay;
 use mns_fluidics::compiler::{compile, CompilerConfig};
@@ -546,7 +546,12 @@ pub fn e7_noc_synthesis(seed: u64) -> Vec<Table> {
     // Pareto exploration summary, on the parallel scenario engine (the
     // conformance suite pins this to the serial result).
     let app = CommGraph::hotspot(16, 1.0);
-    let (points, front) = explore_noc_parallel(&app, &[2, 3, 4, 8], &[0, 2, 4, 8], 0);
+    let (points, front) = explore_noc_with(
+        &app,
+        &[2, 3, 4, 8],
+        &[0, 2, 4, 8],
+        RunnerConfig::new().workers(0).cache(false),
+    );
     let mut p = Table::new(
         "E7b",
         "design-space exploration (16-core hotspot): Pareto front size",
@@ -894,8 +899,16 @@ pub fn a5_parallel_runner(seed: u64) -> Vec<Table> {
         ),
         &["workers", "time ms", "speedup", "identical to serial"],
     );
+    let sweep = |workers: usize| {
+        RunnerConfig::new()
+            .workers(workers)
+            .cache(false)
+            .build()
+            .run(&scenarios)
+            .outcomes
+    };
     let start = Instant::now();
-    let reference = run_scenarios(&scenarios, 1);
+    let reference = sweep(1);
     let serial_ms = ms(start);
     t.row_owned(vec![
         "1".into(),
@@ -905,7 +918,7 @@ pub fn a5_parallel_runner(seed: u64) -> Vec<Table> {
     ]);
     for workers in [2, 4, cores] {
         let start = Instant::now();
-        let out = run_scenarios(&scenarios, workers);
+        let out = sweep(workers);
         let par_ms = ms(start);
         t.row_owned(vec![
             workers.to_string(),
@@ -924,7 +937,7 @@ pub fn a5_parallel_runner(seed: u64) -> Vec<Table> {
     for pass in 1..=2 {
         let before = runner.stats();
         let start = Instant::now();
-        let out = runner.run_batch(&scenarios);
+        let out = runner.run(&scenarios).outcomes;
         let elapsed = ms(start);
         assert_eq!(out, reference, "cached pass must match the reference");
         let after = runner.stats();

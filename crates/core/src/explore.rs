@@ -8,7 +8,7 @@
 
 use mns_noc::graph::CommGraph;
 
-use crate::runner::{run_scenarios, NocScenario, Scenario, ScenarioOutcome};
+use crate::runner::{NocScenario, RunnerConfig, Scenario, ScenarioOutcome};
 
 /// Indices of the Pareto-optimal (non-dominated, minimizing) points.
 ///
@@ -79,27 +79,53 @@ pub struct NocDesignPoint {
 
 /// Sweeps topology-synthesis parameters for one application and returns
 /// every evaluated point plus the indices of the latency/energy/area
-/// Pareto front. Serial shorthand for [`explore_noc_parallel`] with one
-/// worker.
+/// Pareto front. Serial shorthand for [`explore_noc_with`] with one
+/// worker and no cache.
 pub fn explore_noc(
     app: &CommGraph,
     cluster_sizes: &[usize],
     shortcut_budgets: &[usize],
 ) -> (Vec<NocDesignPoint>, Vec<usize>) {
-    explore_noc_parallel(app, cluster_sizes, shortcut_budgets, 1)
+    explore_noc_with(
+        app,
+        cluster_sizes,
+        shortcut_budgets,
+        RunnerConfig::new().workers(1).cache(false),
+    )
 }
 
-/// [`explore_noc`] on the scenario engine: every `(cluster, shortcuts)`
-/// design point becomes a [`Scenario::NocPoint`] evaluated across
-/// `workers` threads (0 = one per hardware thread). The conformance
-/// contract guarantees the result is byte-identical for every worker
-/// count; infeasible points (no route set) are dropped, matching the
-/// serial sweep.
+/// [`explore_noc`] with explicit engine parameters (`workers`, 0 = one
+/// per hardware thread; 1–4 threads documented in the bench).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `explore_noc_with` with a `RunnerConfig` (e.g. \
+            `RunnerConfig::new().workers(n).cache(false)`)"
+)]
 pub fn explore_noc_parallel(
     app: &CommGraph,
     cluster_sizes: &[usize],
     shortcut_budgets: &[usize],
     workers: usize,
+) -> (Vec<NocDesignPoint>, Vec<usize>) {
+    explore_noc_with(
+        app,
+        cluster_sizes,
+        shortcut_budgets,
+        RunnerConfig::new().workers(workers).cache(false),
+    )
+}
+
+/// [`explore_noc`] on the scenario engine: every `(cluster, shortcuts)`
+/// design point becomes a [`Scenario::NocPoint`] evaluated by a
+/// [`Runner`](crate::runner::Runner) built from `config` — any worker,
+/// shard or cache configuration. The conformance contract guarantees the
+/// result is byte-identical for every worker and shard count; infeasible
+/// points (no route set) are dropped, matching the serial sweep.
+pub fn explore_noc_with(
+    app: &CommGraph,
+    cluster_sizes: &[usize],
+    shortcut_budgets: &[usize],
+    config: RunnerConfig,
 ) -> (Vec<NocDesignPoint>, Vec<usize>) {
     let _sweep_span = mns_telemetry::span("noc.sweep");
     let mut params = Vec::new();
@@ -114,7 +140,7 @@ pub fn explore_noc_parallel(
             }));
         }
     }
-    let outcomes = run_scenarios(&scenarios, workers);
+    let outcomes = config.build().run(&scenarios).outcomes;
     let mut points = Vec::new();
     for ((max_cluster, shortcuts), outcome) in params.into_iter().zip(outcomes) {
         let ScenarioOutcome::Noc {
@@ -242,8 +268,17 @@ mod tests {
         let app = CommGraph::hotspot(16, 1.0);
         let serial = explore_noc(&app, &[2, 4, 8], &[0, 4]);
         for workers in [2, 4, 0] {
-            let par = explore_noc_parallel(&app, &[2, 4, 8], &[0, 4], workers);
+            let config = RunnerConfig::new().workers(workers).cache(false);
+            let par = explore_noc_with(&app, &[2, 4, 8], &[0, 4], config);
             assert_eq!(serial, par, "divergence at workers={workers}");
         }
+        // Sharded exploration is covered by the same contract.
+        let sharded = explore_noc_with(
+            &app,
+            &[2, 4, 8],
+            &[0, 4],
+            RunnerConfig::new().workers(2).shards(3).cache(false),
+        );
+        assert_eq!(serial, sharded, "divergence under sharding");
     }
 }

@@ -15,8 +15,10 @@
 //!   filtering, applied to NoC topology synthesis (`mns-noc`),
 //! * [`runner`] — the deterministic parallel experiment engine: batched
 //!   [`Scenario`](runner::Scenario) evaluation across worker threads with
-//!   work stealing, fingerprint caching, and byte-identical serial /
-//!   parallel outcomes (the golden-run conformance contract),
+//!   work stealing, fingerprint caching, deterministic sharding (in
+//!   process or across child processes via [`runner::sharded`]), and
+//!   byte-identical serial / parallel / sharded outcomes (the golden-run
+//!   conformance contract),
 //! * [`report`] — the experiment table type shared by the examples and
 //!   the `mns-bench` reproduction harness.
 //!

@@ -29,8 +29,21 @@
 //! common when an exploration loop re-visits design points — skips
 //! already-evaluated scenarios, and duplicates inside one batch are
 //! evaluated once.
+//!
+//! ## Sharding
+//!
+//! [`Runner::run`] is the consolidated entry point: it evaluates a batch
+//! and returns a [`BatchReport`] (outcomes, merged stats, optional
+//! per-shard breakdown). With `shards > 1` in [`RunnerConfig`], the batch
+//! is partitioned by a deterministic [`ShardPlan`] and each shard runs on
+//! a fresh sub-engine — observationally identical to a child process, so
+//! 1 shard, N in-process shards and N [`sharded::run_sharded`] worker
+//! processes all produce byte-identical per-scenario digests and the same
+//! merged [`BatchStats::totals`]. The manifest wire format lives in
+//! [`manifest`]; the multi-process driver (timeouts, crash detection,
+//! requeue-on-failure) in [`sharded`].
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::Mutex;
 use std::thread;
@@ -51,6 +64,9 @@ use mns_wsn::protocol::Protocol;
 use mns_wsn::sim::{simulate_lifetime, LifetimeConfig};
 
 use crate::labchip::{LabChipPipeline, PipelineConfig};
+
+pub mod manifest;
+pub mod sharded;
 
 /// A 64-bit digest of a scenario outcome, stable across runs, worker
 /// counts and processes (the golden corpus commits these values).
@@ -784,13 +800,138 @@ impl ScenarioOutcome {
     }
 }
 
-/// Engine parameters.
+/// Identifies one shard of a (possibly sharded) sweep. Unsharded runs
+/// report everything under `ShardId(0)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ShardId(pub u32);
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard{}", self.0)
+    }
+}
+
+/// How [`ShardPlan::split_with`] partitions a batch across shards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ShardStrategy {
+    /// Fingerprint-stable round-robin: scenarios are dealt to shards in
+    /// `(fingerprint, submission index)` order, so the scenario→shard
+    /// assignment depends only on the batch *contents* — reordering the
+    /// batch cannot move a scenario to a different shard.
+    #[default]
+    RoundRobin,
+    /// Keep each scenario family on a single shard; distinct families are
+    /// assigned to shards round-robin in lexicographic family order.
+    /// Useful when per-family locality (caches, telemetry aggregation)
+    /// matters more than balance; with more shards than families the
+    /// surplus shards stay empty.
+    ByFamily,
+}
+
+/// A deterministic partition of a batch into shards.
+///
+/// Each shard holds the *global submission indices* of its scenarios,
+/// sorted ascending, so per-scenario telemetry tracks and outcome slots
+/// keep their batch-wide meaning no matter which shard (or process)
+/// evaluates them. Every index appears in exactly one shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    assignments: Vec<Vec<usize>>,
+}
+
+impl ShardPlan {
+    /// Splits `scenarios` into `shards` shards (at least 1) with the
+    /// default [`ShardStrategy::RoundRobin`] strategy.
+    pub fn split(scenarios: &[Scenario], shards: usize) -> ShardPlan {
+        ShardPlan::split_with(scenarios, shards, ShardStrategy::RoundRobin)
+    }
+
+    /// Splits `scenarios` into `shards` shards (at least 1) under the
+    /// given strategy.
+    pub fn split_with(scenarios: &[Scenario], shards: usize, strategy: ShardStrategy) -> ShardPlan {
+        let shards = shards.max(1);
+        let mut assignments = vec![Vec::new(); shards];
+        match strategy {
+            ShardStrategy::RoundRobin => {
+                let mut order: Vec<(u64, usize)> = scenarios
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (s.fingerprint(), i))
+                    .collect();
+                order.sort_unstable();
+                for (k, &(_, i)) in order.iter().enumerate() {
+                    assignments[k % shards].push(i);
+                }
+            }
+            ShardStrategy::ByFamily => {
+                let mut families: Vec<&'static str> =
+                    scenarios.iter().map(Scenario::family).collect();
+                families.sort_unstable();
+                families.dedup();
+                for (i, s) in scenarios.iter().enumerate() {
+                    let rank = families
+                        .binary_search(&s.family())
+                        .expect("every family is in the sorted index");
+                    assignments[rank % shards].push(i);
+                }
+            }
+        }
+        // Submission order within a shard, whatever the deal order was.
+        for shard in &mut assignments {
+            shard.sort_unstable();
+        }
+        ShardPlan { assignments }
+    }
+
+    /// Number of shards in the plan (some may be empty).
+    pub fn shards(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Global submission indices assigned to `shard`, sorted ascending.
+    pub fn indices(&self, shard: ShardId) -> &[usize] {
+        &self.assignments[shard.0 as usize]
+    }
+
+    /// Total scenarios across all shards.
+    pub fn len(&self) -> usize {
+        self.assignments.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the plan covers no scenarios at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates `(shard id, indices)` pairs in shard order.
+    pub fn iter(&self) -> impl Iterator<Item = (ShardId, &[usize])> {
+        self.assignments.iter().enumerate().map(|(k, v)| {
+            let id = u32::try_from(k).expect("shard count fits in u32");
+            (ShardId(id), v.as_slice())
+        })
+    }
+}
+
+/// Engine parameters, built fluently:
+///
+/// ```
+/// use mns_core::runner::RunnerConfig;
+///
+/// let mut runner = RunnerConfig::new().workers(8).shards(4).cache(true).build();
+/// # let _ = runner.run(&[]);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunnerConfig {
-    /// Worker threads; 0 means one per available hardware thread.
+    /// Worker threads (per shard when sharded); 0 means one per available
+    /// hardware thread.
     pub workers: usize,
     /// Whether outcomes are memoized by scenario fingerprint.
     pub cache: bool,
+    /// In-process shard count for [`Runner::run`]; 1 (the default)
+    /// disables sharding.
+    pub shards: usize,
+    /// How scenarios are partitioned when `shards > 1`.
+    pub strategy: ShardStrategy,
 }
 
 impl Default for RunnerConfig {
@@ -798,7 +939,49 @@ impl Default for RunnerConfig {
         RunnerConfig {
             workers: 0,
             cache: true,
+            shards: 1,
+            strategy: ShardStrategy::RoundRobin,
         }
+    }
+}
+
+impl RunnerConfig {
+    /// The default configuration (hardware workers, cache on, unsharded).
+    pub fn new() -> RunnerConfig {
+        RunnerConfig::default()
+    }
+
+    /// Sets the worker-thread count (0 = one per hardware thread).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> RunnerConfig {
+        self.workers = workers;
+        self
+    }
+
+    /// Turns fingerprint memoization on or off.
+    #[must_use]
+    pub fn cache(mut self, cache: bool) -> RunnerConfig {
+        self.cache = cache;
+        self
+    }
+
+    /// Sets the in-process shard count (clamped to at least 1).
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> RunnerConfig {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the shard-assignment strategy.
+    #[must_use]
+    pub fn strategy(mut self, strategy: ShardStrategy) -> RunnerConfig {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Finishes the builder into a ready [`Runner`].
+    pub fn build(self) -> Runner {
+        Runner::new(self)
     }
 }
 
@@ -816,19 +999,46 @@ pub struct RunnerStats {
 /// Counters for one worker thread within a single batch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WorkerBatchStats {
+    /// Shard this worker served (`ShardId(0)` for unsharded runs).
+    pub shard: ShardId,
+    /// Worker index within its shard's pool.
+    pub worker: u32,
     /// Scenarios this worker evaluated.
     pub executed: u64,
     /// Jobs this worker took from a sibling's queue.
     pub steals: u64,
     /// Cache hits attributed to this worker. Hits resolve on the
     /// submitting thread before the pool spins up, so they are all
-    /// charged to worker 0.
+    /// charged to worker 0 of the shard.
     pub cache_hits: u64,
 }
 
-/// Per-batch execution breakdown returned by [`Runner::run_batch_stats`].
+/// Shard- and worker-layout-independent batch counters: the unit of
+/// cross-mode stats comparison. Serial, in-process-sharded and
+/// child-process runs of the same batch must agree on these even though
+/// their `per_worker` layouts reflect different topologies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchTotals {
+    /// Scenarios submitted.
+    pub scenarios: u64,
+    /// Scenarios actually evaluated.
+    pub executed: u64,
+    /// Outcomes served from the fingerprint cache.
+    pub cache_hits: u64,
+    /// Duplicate submissions collapsed in-batch.
+    pub deduped: u64,
+    /// Jobs taken from a sibling worker's queue.
+    pub steals: u64,
+}
+
+/// Per-batch execution breakdown carried by [`BatchReport`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BatchStats {
+    /// Shard these stats describe. A merged report keeps the *smallest*
+    /// contributing shard id (`min` is associative and commutative, so
+    /// merge order cannot change it); per-shard identity survives in
+    /// `per_worker[..].shard` and in [`BatchReport::shards`].
+    pub shard: ShardId,
     /// Scenarios submitted in the batch.
     pub scenarios: u64,
     /// Scenarios actually evaluated (after cache and in-batch dedup).
@@ -839,8 +1049,9 @@ pub struct BatchStats {
     pub deduped: u64,
     /// Jobs taken from a sibling's queue, summed over workers.
     pub steals: u64,
-    /// Per-worker breakdown, indexed by worker id. Length is the worker
-    /// count the batch actually used (1 for serial or small batches).
+    /// Per-worker breakdown. For a single shard this is indexed by worker
+    /// id; a merged report holds the union of all shards' rows, sorted by
+    /// `(shard, worker)`.
     pub per_worker: Vec<WorkerBatchStats>,
 }
 
@@ -854,15 +1065,94 @@ impl BatchStats {
             .unwrap_or(0)
     }
 
-    /// Load imbalance: busiest worker's share of evaluations relative to
-    /// a perfect split (1.0 = perfectly balanced; 0.0 when nothing ran).
+    /// Load balance: ideal per-worker share of evaluations relative to
+    /// the busiest worker's actual load (1.0 = perfectly balanced).
+    ///
+    /// Edge cases are *defined* as vacuously balanced: a batch where
+    /// nothing executed (all cached/empty) and a single-worker batch both
+    /// return exactly `1.0` — no worker can be over- or under-loaded.
     pub fn balance(&self) -> f64 {
         let max = self.max_worker_executed();
-        if max == 0 || self.per_worker.is_empty() {
-            return 0.0;
+        if max == 0 || self.per_worker.len() <= 1 {
+            return 1.0;
         }
         let ideal = self.executed as f64 / self.per_worker.len() as f64;
         (ideal / max as f64).min(1.0)
+    }
+
+    /// The layout-independent counters (see [`BatchTotals`]).
+    pub fn totals(&self) -> BatchTotals {
+        BatchTotals {
+            scenarios: self.scenarios,
+            executed: self.executed,
+            cache_hits: self.cache_hits,
+            deduped: self.deduped,
+            steals: self.steals,
+        }
+    }
+
+    /// Folds `other` into `self`.
+    ///
+    /// Associative and order-insensitive: scalar counters are summed,
+    /// `shard` keeps the minimum contributing id, and the `per_worker`
+    /// rows are unioned on the `(shard, worker)` key (duplicate keys sum
+    /// field-wise) and stored sorted by that key — so any merge tree over
+    /// the same set of shard stats yields the same value.
+    /// `tests/sharded_conformance.rs` proptests this.
+    pub fn merge(&mut self, other: &BatchStats) {
+        self.shard = self.shard.min(other.shard);
+        self.scenarios += other.scenarios;
+        self.executed += other.executed;
+        self.cache_hits += other.cache_hits;
+        self.deduped += other.deduped;
+        self.steals += other.steals;
+        let mut rows: BTreeMap<(ShardId, u32), WorkerBatchStats> = BTreeMap::new();
+        for w in self
+            .per_worker
+            .drain(..)
+            .chain(other.per_worker.iter().copied())
+        {
+            rows.entry((w.shard, w.worker))
+                .and_modify(|r| {
+                    r.executed += w.executed;
+                    r.steals += w.steals;
+                    r.cache_hits += w.cache_hits;
+                })
+                .or_insert(w);
+        }
+        self.per_worker = rows.into_values().collect();
+    }
+
+    /// Merges a sequence of per-shard stats into one batch-wide report
+    /// (the default/empty stats when `parts` is empty).
+    pub fn merged(parts: &[BatchStats]) -> BatchStats {
+        let mut iter = parts.iter();
+        let Some(first) = iter.next() else {
+            return BatchStats::default();
+        };
+        let mut acc = first.clone();
+        for part in iter {
+            acc.merge(part);
+        }
+        acc
+    }
+}
+
+/// Everything [`Runner::run`] knows about one evaluated batch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchReport {
+    /// Outcomes in submission order, one per submitted scenario.
+    pub outcomes: Vec<ScenarioOutcome>,
+    /// Merged execution stats for the whole batch.
+    pub stats: BatchStats,
+    /// Per-shard breakdown in shard order; empty for unsharded runs.
+    pub shards: Vec<BatchStats>,
+}
+
+impl BatchReport {
+    /// Per-scenario outcome digests, in submission order.
+    pub fn digests(&self) -> Vec<Digest> {
+        self.outcomes.iter().map(ScenarioOutcome::digest).collect()
     }
 }
 
@@ -875,7 +1165,7 @@ pub fn default_workers() -> usize {
 /// The deterministic work-stealing scenario engine.
 ///
 /// ```
-/// use mns_core::runner::{Runner, Scenario, HarvestScenario};
+/// use mns_core::runner::{Runner, RunnerConfig, Scenario, HarvestScenario};
 /// use mns_wsn::harvest::DutyPolicy;
 ///
 /// let batch = vec![Scenario::Harvest(HarvestScenario {
@@ -884,13 +1174,18 @@ pub fn default_workers() -> usize {
 ///     cloudiness: 0.4,
 ///     seed: 1,
 /// })];
-/// let serial = Runner::serial().run_batch(&batch);
-/// let parallel = Runner::with_workers(4).run_batch(&batch);
-/// assert_eq!(serial, parallel); // byte-identical, any worker count
+/// let serial = Runner::serial().run(&batch);
+/// let parallel = RunnerConfig::new().workers(4).build().run(&batch);
+/// let sharded = RunnerConfig::new().workers(4).shards(2).build().run(&batch);
+/// // Byte-identical at any worker or shard count.
+/// assert_eq!(serial.outcomes, parallel.outcomes);
+/// assert_eq!(serial.outcomes, sharded.outcomes);
 /// ```
 #[derive(Debug)]
 pub struct Runner {
     workers: usize,
+    shards: usize,
+    strategy: ShardStrategy,
     cache_enabled: bool,
     cache: HashMap<u64, ScenarioOutcome>,
     stats: RunnerStats,
@@ -906,6 +1201,8 @@ impl Runner {
         };
         Runner {
             workers,
+            shards: config.shards.max(1),
+            strategy: config.strategy,
             cache_enabled: config.cache,
             cache: HashMap::new(),
             stats: RunnerStats::default(),
@@ -919,15 +1216,17 @@ impl Runner {
 
     /// An engine with exactly `workers` threads.
     pub fn with_workers(workers: usize) -> Self {
-        Runner::new(RunnerConfig {
-            workers: workers.max(1),
-            cache: true,
-        })
+        RunnerConfig::new().workers(workers.max(1)).build()
     }
 
     /// The resolved worker count.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The configured in-process shard count (1 = unsharded).
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// Lifetime execution counters.
@@ -947,46 +1246,104 @@ impl Runner {
 
     /// Evaluates one scenario (through the cache).
     pub fn run_one(&mut self, scenario: &Scenario) -> ScenarioOutcome {
-        self.run_batch(std::slice::from_ref(scenario))
+        self.run(std::slice::from_ref(scenario))
+            .outcomes
             .pop()
             .expect("one outcome per scenario")
     }
 
-    /// Evaluates a batch, returning outcomes in submission order.
+    /// Evaluates a batch behind the consolidated surface, returning a
+    /// [`BatchReport`] with outcomes in submission order, merged stats
+    /// and (when sharded) a per-shard breakdown.
     ///
     /// Cached fingerprints are served without re-evaluation; duplicate
-    /// scenarios inside the batch are evaluated once. The remaining jobs
-    /// are dealt round-robin to per-worker queues; an idle worker steals
-    /// from the tail of a sibling's queue. Because every scenario is a
-    /// pure function of its own fields, the schedule cannot affect the
-    /// result — only the wall clock.
-    pub fn run_batch(&mut self, scenarios: &[Scenario]) -> Vec<ScenarioOutcome> {
-        self.run_batch_stats(scenarios).0
+    /// scenarios inside a shard are evaluated once. Remaining jobs are
+    /// dealt round-robin to per-worker queues; an idle worker steals from
+    /// the tail of a sibling's queue. Because every scenario is a pure
+    /// function of its own fields, the schedule cannot affect the result
+    /// — only the wall clock.
+    ///
+    /// With `shards > 1`, the batch is partitioned by a [`ShardPlan`] and
+    /// each shard runs on a *fresh* sub-engine whose cache and dedup scope
+    /// is the shard itself — exactly what a child process would see — so
+    /// outcomes and merged [`BatchStats::totals`] are identical whether
+    /// the shards run in this process or via [`sharded::run_sharded`].
+    /// Sub-engine caches and counters fold back into this runner.
+    pub fn run(&mut self, scenarios: &[Scenario]) -> BatchReport {
+        let _batch_span = mns_telemetry::span("runner.run");
+        if self.shards <= 1 {
+            let indices: Vec<usize> = (0..scenarios.len()).collect();
+            let (pairs, stats) = self.run_indices(scenarios, &indices, ShardId(0));
+            BatchReport {
+                outcomes: Self::assemble(scenarios.len(), pairs),
+                stats,
+                shards: Vec::new(),
+            }
+        } else {
+            let plan = ShardPlan::split_with(scenarios, self.shards, self.strategy);
+            let mut pairs: Vec<(usize, ScenarioOutcome)> = Vec::with_capacity(scenarios.len());
+            let mut shard_stats: Vec<BatchStats> = Vec::with_capacity(plan.shards());
+            for (shard, indices) in plan.iter() {
+                let _shard_span = mns_telemetry::task_span("runner.shard", u64::from(shard.0));
+                let mut sub = Runner::new(RunnerConfig {
+                    workers: self.workers,
+                    cache: self.cache_enabled,
+                    shards: 1,
+                    strategy: self.strategy,
+                });
+                let (shard_pairs, stats) = sub.run_indices(scenarios, indices, shard);
+                self.stats.executed += sub.stats.executed;
+                self.stats.cache_hits += sub.stats.cache_hits;
+                self.stats.steals += sub.stats.steals;
+                if self.cache_enabled {
+                    self.cache.extend(sub.cache);
+                }
+                pairs.extend(shard_pairs);
+                shard_stats.push(stats);
+            }
+            BatchReport {
+                outcomes: Self::assemble(scenarios.len(), pairs),
+                stats: BatchStats::merged(&shard_stats),
+                shards: shard_stats,
+            }
+        }
     }
 
-    /// [`run_batch`](Runner::run_batch) plus a per-worker execution
-    /// breakdown for the batch (evaluations, steals and cache hits per
-    /// worker). The outcomes are identical to `run_batch`; only the
-    /// bookkeeping differs.
-    pub fn run_batch_stats(
+    /// Orders `(index, outcome)` pairs into the submission-order vector.
+    fn assemble(len: usize, mut pairs: Vec<(usize, ScenarioOutcome)>) -> Vec<ScenarioOutcome> {
+        debug_assert_eq!(pairs.len(), len);
+        pairs.sort_unstable_by_key(|(i, _)| *i);
+        pairs.into_iter().map(|(_, outcome)| outcome).collect()
+    }
+
+    /// Runs the sub-batch `indices` (global submission indices into
+    /// `scenarios`) through cache, dedup and the worker pool, tagging the
+    /// resulting stats with `shard`. Returns one `(index, outcome)` pair
+    /// per entry of `indices`, in arbitrary order. Keeping indices global
+    /// keeps telemetry task tracks and outcome slots batch-wide, whichever
+    /// shard (or process) evaluates them.
+    pub(crate) fn run_indices(
         &mut self,
         scenarios: &[Scenario],
-    ) -> (Vec<ScenarioOutcome>, BatchStats) {
-        let _batch_span = mns_telemetry::span("runner.run_batch");
-        let fingerprints: Vec<u64> = scenarios.iter().map(Scenario::fingerprint).collect();
-        let mut out: Vec<Option<ScenarioOutcome>> = vec![None; scenarios.len()];
+        indices: &[usize],
+        shard: ShardId,
+    ) -> (Vec<(usize, ScenarioOutcome)>, BatchStats) {
+        let mut pairs: Vec<(usize, ScenarioOutcome)> = Vec::with_capacity(indices.len());
         // Resolve cache hits and pick one representative index per
         // distinct uncached fingerprint.
         let mut pending: HashSet<u64> = HashSet::new();
         let mut jobs: Vec<usize> = Vec::new();
+        let mut unresolved: Vec<(usize, u64)> = Vec::new();
         let mut batch = BatchStats {
-            scenarios: scenarios.len() as u64,
+            shard,
+            scenarios: indices.len() as u64,
             ..BatchStats::default()
         };
-        for (i, &fp) in fingerprints.iter().enumerate() {
+        for &i in indices {
+            let fp = scenarios[i].fingerprint();
             if self.cache_enabled {
                 if let Some(hit) = self.cache.get(&fp) {
-                    out[i] = Some(hit.clone());
+                    pairs.push((i, hit.clone()));
                     self.stats.cache_hits += 1;
                     batch.cache_hits += 1;
                     continue;
@@ -997,13 +1354,22 @@ impl Runner {
             } else {
                 batch.deduped += 1;
             }
+            unresolved.push((i, fp));
         }
 
         let (fresh, per_worker) = self.execute(scenarios, &jobs);
         self.stats.executed += fresh.len() as u64;
         batch.executed = fresh.len() as u64;
         batch.steals = per_worker.iter().map(|w| w.steals).sum();
-        batch.per_worker = per_worker;
+        batch.per_worker = per_worker
+            .into_iter()
+            .enumerate()
+            .map(|(w, ws)| WorkerBatchStats {
+                shard,
+                worker: u32::try_from(w).expect("worker count fits in u32"),
+                ..ws
+            })
+            .collect();
         if let Some(w0) = batch.per_worker.first_mut() {
             // Hits resolve on the submitting thread: charge worker 0.
             w0.cache_hits = batch.cache_hits;
@@ -1014,26 +1380,44 @@ impl Runner {
         mns_telemetry::counter_add("runner.steals", batch.steals);
         let mut by_fp: HashMap<u64, ScenarioOutcome> = HashMap::with_capacity(fresh.len());
         for (idx, outcome) in fresh {
+            let fp = scenarios[idx].fingerprint();
             if self.cache_enabled {
-                self.cache.insert(fingerprints[idx], outcome.clone());
+                self.cache.insert(fp, outcome.clone());
             }
-            by_fp.insert(fingerprints[idx], outcome);
+            by_fp.insert(fp, outcome);
         }
-        for (i, slot) in out.iter_mut().enumerate() {
-            if slot.is_none() {
-                *slot = Some(
-                    by_fp
-                        .get(&fingerprints[i])
-                        .expect("every pending fingerprint was evaluated")
-                        .clone(),
-                );
-            }
+        for (i, fp) in unresolved {
+            pairs.push((
+                i,
+                by_fp
+                    .get(&fp)
+                    .expect("every pending fingerprint was evaluated")
+                    .clone(),
+            ));
         }
-        let outcomes = out
-            .into_iter()
-            .map(|o| o.expect("all slots filled"))
-            .collect();
-        (outcomes, batch)
+        (pairs, batch)
+    }
+
+    /// Evaluates a batch, returning outcomes in submission order.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Runner::run`, which returns a `BatchReport`"
+    )]
+    pub fn run_batch(&mut self, scenarios: &[Scenario]) -> Vec<ScenarioOutcome> {
+        self.run(scenarios).outcomes
+    }
+
+    /// Evaluates a batch, returning outcomes plus per-worker stats.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Runner::run`; the `BatchReport` carries outcomes and stats"
+    )]
+    pub fn run_batch_stats(
+        &mut self,
+        scenarios: &[Scenario],
+    ) -> (Vec<ScenarioOutcome>, BatchStats) {
+        let report = self.run(scenarios);
+        (report.outcomes, report.stats)
     }
 
     /// Evaluates one job on whatever thread is running it, under a
@@ -1142,12 +1526,17 @@ impl Runner {
 
 /// One-shot convenience: evaluates `scenarios` on `workers` threads
 /// (0 = hardware default) without building a [`Runner`] by hand.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `RunnerConfig::new().workers(n).cache(false).build().run(scenarios)`"
+)]
 pub fn run_scenarios(scenarios: &[Scenario], workers: usize) -> Vec<ScenarioOutcome> {
-    Runner::new(RunnerConfig {
-        workers,
-        cache: false,
-    })
-    .run_batch(scenarios)
+    RunnerConfig::new()
+        .workers(workers)
+        .cache(false)
+        .build()
+        .run(scenarios)
+        .outcomes
 }
 
 /// The cross-domain golden corpus: every scenario family the workspace
@@ -1337,9 +1726,9 @@ mod tests {
     #[test]
     fn parallel_is_byte_identical_to_serial() {
         let batch = small_batch();
-        let serial = Runner::serial().run_batch(&batch);
+        let serial = Runner::serial().run(&batch).outcomes;
         for workers in [2, 4, 8] {
-            let par = Runner::with_workers(workers).run_batch(&batch);
+            let par = Runner::with_workers(workers).run(&batch).outcomes;
             assert_eq!(serial, par, "divergence at {workers} workers");
         }
     }
@@ -1348,9 +1737,9 @@ mod tests {
     fn cache_serves_repeat_sweeps() {
         let batch = small_batch();
         let mut runner = Runner::with_workers(2);
-        let first = runner.run_batch(&batch);
+        let first = runner.run(&batch).outcomes;
         assert_eq!(runner.stats().executed, batch.len() as u64);
-        let second = runner.run_batch(&batch);
+        let second = runner.run(&batch).outcomes;
         assert_eq!(first, second);
         assert_eq!(runner.stats().executed, batch.len() as u64, "no re-runs");
         assert_eq!(runner.stats().cache_hits, batch.len() as u64);
@@ -1361,7 +1750,7 @@ mod tests {
         let one = small_batch().remove(0);
         let batch = vec![one.clone(), one.clone(), one];
         let mut runner = Runner::serial();
-        let out = runner.run_batch(&batch);
+        let out = runner.run(&batch).outcomes;
         assert_eq!(out[0], out[1]);
         assert_eq!(out[1], out[2]);
         assert_eq!(runner.stats().executed, 1);
@@ -1369,7 +1758,7 @@ mod tests {
 
     #[test]
     fn outcome_digests_discriminate() {
-        let outs = Runner::serial().run_batch(&small_batch());
+        let outs = Runner::serial().run(&small_batch()).outcomes;
         let mut digests: Vec<Digest> = outs.iter().map(ScenarioOutcome::digest).collect();
         digests.sort_unstable();
         digests.dedup();
@@ -1380,39 +1769,209 @@ mod tests {
     fn batch_stats_account_for_every_scenario() {
         let batch = small_batch();
         let mut runner = Runner::with_workers(2);
-        let (out, stats) = runner.run_batch_stats(&batch);
+        let report = runner.run(&batch);
+        let (out, stats) = (report.outcomes, report.stats);
         assert_eq!(out.len(), batch.len());
         assert_eq!(stats.scenarios, batch.len() as u64);
         assert_eq!(stats.executed, batch.len() as u64);
         assert_eq!(stats.cache_hits, 0);
         assert_eq!(stats.deduped, 0);
+        assert!(report.shards.is_empty(), "unsharded run, no breakdown");
         // Workers partition the evaluations exactly.
         let per_worker_sum: u64 = stats.per_worker.iter().map(|w| w.executed).sum();
         assert_eq!(per_worker_sum, stats.executed);
         assert!(!stats.per_worker.is_empty());
         assert!(stats.per_worker.len() <= 2);
+        for (w, ws) in stats.per_worker.iter().enumerate() {
+            assert_eq!(ws.shard, ShardId(0));
+            assert_eq!(ws.worker, w as u32);
+        }
         assert!((0.0..=1.0).contains(&stats.balance()));
 
-        // A repeat sweep is all cache hits, charged to worker 0.
-        let (again, cached) = runner.run_batch_stats(&batch);
-        assert_eq!(again, out);
+        // A repeat sweep is all cache hits, charged to worker 0, and
+        // vacuously balanced (nothing executed).
+        let again = runner.run(&batch);
+        assert_eq!(again.outcomes, out);
+        let cached = again.stats;
         assert_eq!(cached.executed, 0);
         assert_eq!(cached.cache_hits, batch.len() as u64);
         assert_eq!(cached.per_worker[0].cache_hits, batch.len() as u64);
         assert_eq!(cached.max_worker_executed(), 0);
-        assert_eq!(cached.balance(), 0.0);
+        assert_eq!(cached.balance(), 1.0);
     }
 
     #[test]
     fn batch_stats_count_in_batch_duplicates() {
         let one = small_batch().remove(0);
         let batch = vec![one.clone(), one.clone(), one];
-        let (_, stats) = Runner::serial().run_batch_stats(&batch);
+        let report = Runner::serial().run(&batch);
+        let stats = report.stats;
         assert_eq!(stats.scenarios, 3);
         assert_eq!(stats.executed, 1);
         assert_eq!(stats.deduped, 2);
         assert_eq!(stats.per_worker.len(), 1);
         assert_eq!(stats.per_worker[0].executed, 1);
+    }
+
+    #[test]
+    fn balance_edge_cases_are_defined() {
+        // Empty stats: nothing executed, no workers — vacuously balanced.
+        assert_eq!(BatchStats::default().balance(), 1.0);
+        // Single worker: cannot be imbalanced against itself.
+        let solo = BatchStats {
+            executed: 5,
+            per_worker: vec![WorkerBatchStats {
+                executed: 5,
+                ..WorkerBatchStats::default()
+            }],
+            ..BatchStats::default()
+        };
+        assert_eq!(solo.balance(), 1.0);
+        // Two workers, all load on one: balance is 1/2.
+        let skewed = BatchStats {
+            executed: 4,
+            per_worker: vec![
+                WorkerBatchStats {
+                    executed: 4,
+                    ..WorkerBatchStats::default()
+                },
+                WorkerBatchStats {
+                    worker: 1,
+                    ..WorkerBatchStats::default()
+                },
+            ],
+            ..BatchStats::default()
+        };
+        assert!((skewed.balance() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_robin_plan_is_fingerprint_stable() {
+        let batch = small_batch();
+        let plan = ShardPlan::split(&batch, 2);
+        assert_eq!(plan.shards(), 2);
+        assert_eq!(plan.len(), batch.len());
+        // Reversing the batch must not move any scenario to a different
+        // shard: compare fingerprint sets per shard.
+        let mut reversed = batch.clone();
+        reversed.reverse();
+        let rplan = ShardPlan::split(&reversed, 2);
+        for (shard, indices) in plan.iter() {
+            let mut fwd: Vec<u64> = indices.iter().map(|&i| batch[i].fingerprint()).collect();
+            let mut rev: Vec<u64> = rplan
+                .indices(shard)
+                .iter()
+                .map(|&i| reversed[i].fingerprint())
+                .collect();
+            fwd.sort_unstable();
+            rev.sort_unstable();
+            assert_eq!(fwd, rev, "shard {shard} moved under batch reordering");
+        }
+    }
+
+    #[test]
+    fn by_family_plan_keeps_families_together() {
+        let batch = small_batch(); // four distinct families
+        let plan = ShardPlan::split_with(&batch, 2, ShardStrategy::ByFamily);
+        for (_, indices) in plan.iter() {
+            for &i in indices {
+                let family = batch[i].family();
+                // Every other scenario of this family is in this shard.
+                for (j, s) in batch.iter().enumerate() {
+                    if s.family() == family {
+                        assert!(indices.contains(&j));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_run_matches_unsharded() {
+        let batch = small_batch();
+        let reference = Runner::serial().run(&batch);
+        for shards in [1usize, 2, 3, 4, 7] {
+            for strategy in [ShardStrategy::RoundRobin, ShardStrategy::ByFamily] {
+                let report = RunnerConfig::new()
+                    .workers(1)
+                    .shards(shards)
+                    .strategy(strategy)
+                    .build()
+                    .run(&batch);
+                assert_eq!(
+                    reference.outcomes, report.outcomes,
+                    "outcomes diverged at {shards} shards ({strategy:?})"
+                );
+                assert_eq!(
+                    reference.stats.totals(),
+                    report.stats.totals(),
+                    "totals diverged at {shards} shards ({strategy:?})"
+                );
+                if shards > 1 {
+                    assert_eq!(report.shards.len(), shards);
+                    let merged = BatchStats::merged(&report.shards);
+                    assert_eq!(merged, report.stats);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_sums_counters_and_unions_workers() {
+        let a = BatchStats {
+            shard: ShardId(2),
+            scenarios: 3,
+            executed: 3,
+            per_worker: vec![WorkerBatchStats {
+                shard: ShardId(2),
+                worker: 0,
+                executed: 3,
+                ..WorkerBatchStats::default()
+            }],
+            ..BatchStats::default()
+        };
+        let b = BatchStats {
+            shard: ShardId(0),
+            scenarios: 2,
+            executed: 1,
+            cache_hits: 1,
+            per_worker: vec![WorkerBatchStats {
+                shard: ShardId(0),
+                worker: 0,
+                executed: 1,
+                cache_hits: 1,
+                ..WorkerBatchStats::default()
+            }],
+            ..BatchStats::default()
+        };
+        let ab = BatchStats::merged(&[a.clone(), b.clone()]);
+        let ba = BatchStats::merged(&[b, a]);
+        assert_eq!(ab, ba, "merge must be order-insensitive");
+        assert_eq!(ab.shard, ShardId(0));
+        assert_eq!(ab.scenarios, 5);
+        assert_eq!(ab.executed, 4);
+        assert_eq!(ab.cache_hits, 1);
+        assert_eq!(ab.per_worker.len(), 2);
+        assert_eq!(ab.per_worker[0].shard, ShardId(0));
+        assert_eq!(ab.per_worker[1].shard, ShardId(2));
+    }
+
+    #[test]
+    fn runner_config_builder_round_trips() {
+        let config = RunnerConfig::new()
+            .workers(3)
+            .shards(2)
+            .cache(false)
+            .strategy(ShardStrategy::ByFamily);
+        assert_eq!(config.workers, 3);
+        assert_eq!(config.shards, 2);
+        assert!(!config.cache);
+        assert_eq!(config.strategy, ShardStrategy::ByFamily);
+        let runner = config.build();
+        assert_eq!(runner.workers(), 3);
+        assert_eq!(runner.shards(), 2);
+        // shards(0) clamps to 1 rather than planning an empty split.
+        assert_eq!(RunnerConfig::new().shards(0).shards, 1);
     }
 
     #[test]

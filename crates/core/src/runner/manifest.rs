@@ -1,0 +1,747 @@
+//! Line-oriented wire format for sharded sweeps.
+//!
+//! A parent process hands each shard worker a **manifest** — one line per
+//! scenario, carrying the scenario's *global submission index* and a full
+//! self-describing encoding of its parameters — and reads back an
+//! **outcome file** with the shard's [`BatchStats`] header and one
+//! outcome line per manifest entry. Both formats are plain UTF-8 text,
+//! one record per line, space-separated tokens:
+//!
+//! * floats travel as the 16-hex-digit IEEE-754 bit pattern
+//!   (`f64::to_bits`), so round-trips are exact — including NaN payloads
+//!   — and digests are preserved bit for bit;
+//! * strings travel hex-encoded with an `x` prefix (`x` alone is the
+//!   empty string), so embedded whitespace cannot break tokenization;
+//! * every record starts with a family tag (`fluidics`, `labchip`,
+//!   `noc`, `wsn`, `harvest`, `grn`), making the format self-describing
+//!   and versioned by its header line.
+//!
+//! The conformance contract is digest preservation: for any scenario,
+//! `decode(encode(s))` fingerprints identically to `s`, and for any
+//! outcome, `decode(encode(o)).digest() == o.digest()`.
+
+use std::fmt;
+
+use mns_noc::graph::{CommGraph, Flow};
+use mns_wsn::harvest::DutyPolicy;
+use mns_wsn::protocol::Protocol;
+
+use super::{
+    BatchStats, FluidicsScenario, GrnModel, HarvestScenario, KnockoutScenario, LabChipScenario,
+    NocScenario, Scenario, ScenarioOutcome, ShardId, WorkerBatchStats, WsnScenario,
+};
+
+/// First line of every shard manifest.
+pub const MANIFEST_HEADER: &str = "# mns shard manifest v1";
+/// First line of every shard outcome file.
+pub const OUTCOMES_HEADER: &str = "# mns shard outcomes v1";
+
+/// A parse failure, with the 1-based line number it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestError {
+    /// 1-based line number of the offending record (0 = whole file).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+fn err(line: usize, message: impl Into<String>) -> ManifestError {
+    ManifestError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Tokenizer over one record line.
+struct Tokens<'a> {
+    iter: std::str::SplitWhitespace<'a>,
+}
+
+impl<'a> Tokens<'a> {
+    fn new(line: &'a str) -> Self {
+        Tokens {
+            iter: line.split_whitespace(),
+        }
+    }
+
+    fn next(&mut self) -> Result<&'a str, String> {
+        self.iter
+            .next()
+            .ok_or_else(|| "unexpected end of record".to_owned())
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let t = self.next()?;
+        t.parse().map_err(|_| format!("bad u64 `{t}`"))
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        let t = self.next()?;
+        t.parse().map_err(|_| format!("bad u32 `{t}`"))
+    }
+
+    fn usize(&mut self) -> Result<usize, String> {
+        let t = self.next()?;
+        t.parse().map_err(|_| format!("bad usize `{t}`"))
+    }
+
+    fn i32(&mut self) -> Result<i32, String> {
+        let t = self.next()?;
+        t.parse().map_err(|_| format!("bad i32 `{t}`"))
+    }
+
+    /// Floats travel as 16 hex digits of their IEEE-754 bit pattern.
+    fn f64(&mut self) -> Result<f64, String> {
+        let t = self.next()?;
+        let bits = u64::from_str_radix(t, 16).map_err(|_| format!("bad f64 bits `{t}`"))?;
+        Ok(f64::from_bits(bits))
+    }
+
+    fn bool(&mut self) -> Result<bool, String> {
+        match self.next()? {
+            "0" => Ok(false),
+            "1" => Ok(true),
+            t => Err(format!("bad bool `{t}` (want 0 or 1)")),
+        }
+    }
+
+    /// Strings travel hex-encoded with an `x` prefix.
+    fn string(&mut self) -> Result<String, String> {
+        let t = self.next()?;
+        let hex = t
+            .strip_prefix('x')
+            .ok_or_else(|| format!("bad string token `{t}` (want x<hex>)"))?;
+        if hex.len() % 2 != 0 {
+            return Err(format!("odd-length string hex `{t}`"));
+        }
+        let mut bytes = Vec::with_capacity(hex.len() / 2);
+        for pair in 0..hex.len() / 2 {
+            let b = u8::from_str_radix(&hex[2 * pair..2 * pair + 2], 16)
+                .map_err(|_| format!("bad string hex `{t}`"))?;
+            bytes.push(b);
+        }
+        String::from_utf8(bytes).map_err(|_| format!("string token `{t}` is not UTF-8"))
+    }
+
+    fn done(&mut self) -> Result<(), String> {
+        match self.iter.next() {
+            None => Ok(()),
+            Some(t) => Err(format!("trailing token `{t}`")),
+        }
+    }
+}
+
+fn bits(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn hex_str(s: &str) -> String {
+    let mut out = String::with_capacity(1 + 2 * s.len());
+    out.push('x');
+    for b in s.bytes() {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+fn flag(v: bool) -> &'static str {
+    if v {
+        "1"
+    } else {
+        "0"
+    }
+}
+
+/// Encodes one scenario as a single self-describing record (no newline).
+pub fn encode_scenario(scenario: &Scenario) -> String {
+    match scenario {
+        Scenario::FluidicsCompile(s) => format!(
+            "fluidics {} {} {} {}",
+            s.plex,
+            s.grid_side,
+            bits(s.dead_fraction),
+            s.fault_seed
+        ),
+        Scenario::LabChip(s) => format!(
+            "labchip {} {} {} {}",
+            s.seed,
+            s.samples_per_run,
+            bits(s.dead_fraction),
+            s.fault_seed
+        ),
+        Scenario::NocPoint(s) => {
+            let mut out = format!(
+                "noc {} {} {} {}",
+                s.max_cluster,
+                s.shortcuts,
+                s.app.cores(),
+                s.app.flows().len()
+            );
+            for f in s.app.flows() {
+                out.push_str(&format!(" {} {} {}", f.src, f.dst, bits(f.rate)));
+            }
+            out
+        }
+        Scenario::WsnLifetime(s) => {
+            let protocol = match s.protocol {
+                Protocol::Direct => "direct".to_owned(),
+                Protocol::Tree {
+                    radio_range,
+                    aggregate,
+                } => format!("tree {} {}", bits(radio_range), flag(aggregate)),
+                Protocol::Cluster { p, aggregate } => {
+                    format!("cluster {} {}", bits(p), flag(aggregate))
+                }
+            };
+            format!(
+                "wsn {} {} {protocol} {} {} {}",
+                s.nodes,
+                bits(s.side),
+                bits(s.failure_rate),
+                s.max_rounds,
+                s.seed
+            )
+        }
+        Scenario::Harvest(s) => {
+            let policy = match s.policy {
+                DutyPolicy::Fixed(d) => format!("fixed {}", bits(d)),
+                DutyPolicy::Greedy {
+                    threshold,
+                    duty_high,
+                    duty_low,
+                } => format!(
+                    "greedy {} {} {}",
+                    bits(threshold),
+                    bits(duty_high),
+                    bits(duty_low)
+                ),
+                DutyPolicy::EnergyNeutral { alpha } => format!("neutral {}", bits(alpha)),
+            };
+            format!(
+                "harvest {policy} {} {} {}",
+                s.days,
+                bits(s.cloudiness),
+                s.seed
+            )
+        }
+        Scenario::Knockout(s) => {
+            let model = match s.model {
+                GrnModel::THelper => "thelper".to_owned(),
+                GrnModel::Arabidopsis { whorl } => format!("arabidopsis {whorl}"),
+            };
+            let knockout = match &s.knockout {
+                None => "wild".to_owned(),
+                Some(gene) => format!("ko {}", hex_str(gene)),
+            };
+            format!("grn {model} {knockout}")
+        }
+    }
+}
+
+/// Decodes one scenario record produced by [`encode_scenario`].
+pub fn decode_scenario(record: &str) -> Result<Scenario, String> {
+    let mut t = Tokens::new(record);
+    let scenario = match t.next()? {
+        "fluidics" => Scenario::FluidicsCompile(FluidicsScenario {
+            plex: t.usize()?,
+            grid_side: t.i32()?,
+            dead_fraction: t.f64()?,
+            fault_seed: t.u64()?,
+        }),
+        "labchip" => Scenario::LabChip(LabChipScenario {
+            seed: t.u64()?,
+            samples_per_run: t.usize()?,
+            dead_fraction: t.f64()?,
+            fault_seed: t.u64()?,
+        }),
+        "noc" => {
+            let max_cluster = t.usize()?;
+            let shortcuts = t.usize()?;
+            let cores = t.usize()?;
+            let nflows = t.usize()?;
+            let mut flows = Vec::with_capacity(nflows);
+            for _ in 0..nflows {
+                flows.push(Flow {
+                    src: t.usize()?,
+                    dst: t.usize()?,
+                    rate: t.f64()?,
+                });
+            }
+            Scenario::NocPoint(NocScenario {
+                app: CommGraph::new(cores, flows),
+                max_cluster,
+                shortcuts,
+            })
+        }
+        "wsn" => {
+            let nodes = t.usize()?;
+            let side = t.f64()?;
+            let protocol = match t.next()? {
+                "direct" => Protocol::Direct,
+                "tree" => Protocol::Tree {
+                    radio_range: t.f64()?,
+                    aggregate: t.bool()?,
+                },
+                "cluster" => Protocol::Cluster {
+                    p: t.f64()?,
+                    aggregate: t.bool()?,
+                },
+                p => return Err(format!("unknown wsn protocol `{p}`")),
+            };
+            Scenario::WsnLifetime(WsnScenario {
+                nodes,
+                side,
+                protocol,
+                failure_rate: t.f64()?,
+                max_rounds: t.u64()?,
+                seed: t.u64()?,
+            })
+        }
+        "harvest" => {
+            let policy = match t.next()? {
+                "fixed" => DutyPolicy::Fixed(t.f64()?),
+                "greedy" => DutyPolicy::Greedy {
+                    threshold: t.f64()?,
+                    duty_high: t.f64()?,
+                    duty_low: t.f64()?,
+                },
+                "neutral" => DutyPolicy::EnergyNeutral { alpha: t.f64()? },
+                p => return Err(format!("unknown harvest policy `{p}`")),
+            };
+            Scenario::Harvest(HarvestScenario {
+                policy,
+                days: t.u32()?,
+                cloudiness: t.f64()?,
+                seed: t.u64()?,
+            })
+        }
+        "grn" => {
+            let model = match t.next()? {
+                "thelper" => GrnModel::THelper,
+                "arabidopsis" => GrnModel::Arabidopsis { whorl: t.usize()? },
+                m => return Err(format!("unknown grn model `{m}`")),
+            };
+            let knockout = match t.next()? {
+                "wild" => None,
+                "ko" => Some(t.string()?),
+                k => return Err(format!("unknown knockout tag `{k}`")),
+            };
+            Scenario::Knockout(KnockoutScenario { model, knockout })
+        }
+        tag => return Err(format!("unknown scenario tag `{tag}`")),
+    };
+    t.done()?;
+    Ok(scenario)
+}
+
+/// Encodes one outcome as a single self-describing record (no newline).
+pub fn encode_outcome(outcome: &ScenarioOutcome) -> String {
+    match outcome {
+        ScenarioOutcome::Fluidics {
+            compiled,
+            makespan,
+            moves,
+            stalls,
+            energy,
+            reroutes,
+            abandoned,
+        } => format!(
+            "fluidics {} {makespan} {moves} {stalls} {energy} {reroutes} {abandoned}",
+            flag(*compiled)
+        ),
+        ScenarioOutcome::LabChip {
+            ok,
+            makespan,
+            energy,
+            sensing_error,
+            biclusters,
+            recovery,
+            relevance,
+            samples_dropped,
+        } => format!(
+            "labchip {} {makespan} {energy} {} {biclusters} {} {} {samples_dropped}",
+            flag(*ok),
+            bits(*sensing_error),
+            bits(*recovery),
+            bits(*relevance)
+        ),
+        ScenarioOutcome::Noc {
+            feasible,
+            weighted_hops,
+            energy,
+            area,
+            deadlock_free,
+        } => format!(
+            "noc {} {} {} {} {}",
+            flag(*feasible),
+            bits(*weighted_hops),
+            bits(*energy),
+            bits(*area),
+            flag(*deadlock_free)
+        ),
+        ScenarioOutcome::Wsn {
+            first_death,
+            half_death,
+            rounds,
+            sensed,
+            delivered,
+            avg_coverage,
+            energy_spent,
+        } => format!(
+            "wsn {first_death} {half_death} {rounds} {sensed} {delivered} {} {}",
+            bits(*avg_coverage),
+            bits(*energy_spent)
+        ),
+        ScenarioOutcome::Harvest {
+            work,
+            dead_slots,
+            total_slots,
+            wasted,
+            harvested,
+            final_battery,
+        } => format!(
+            "harvest {} {dead_slots} {total_slots} {} {} {}",
+            bits(*work),
+            bits(*wasted),
+            bits(*harvested),
+            bits(*final_battery)
+        ),
+        ScenarioOutcome::Knockout {
+            fixed_points,
+            annotation,
+        } => {
+            let mut out = format!("grn {}", fixed_points.len());
+            for fp in fixed_points {
+                out.push_str(&format!(" {fp}"));
+            }
+            out.push(' ');
+            out.push_str(&hex_str(annotation));
+            out
+        }
+    }
+}
+
+/// Decodes one outcome record produced by [`encode_outcome`].
+pub fn decode_outcome(record: &str) -> Result<ScenarioOutcome, String> {
+    let mut t = Tokens::new(record);
+    let outcome = match t.next()? {
+        "fluidics" => ScenarioOutcome::Fluidics {
+            compiled: t.bool()?,
+            makespan: t.u32()?,
+            moves: t.u32()?,
+            stalls: t.u32()?,
+            energy: t.u64()?,
+            reroutes: t.u32()?,
+            abandoned: t.u32()?,
+        },
+        "labchip" => ScenarioOutcome::LabChip {
+            ok: t.bool()?,
+            makespan: t.u32()?,
+            energy: t.u64()?,
+            sensing_error: t.f64()?,
+            biclusters: t.usize()?,
+            recovery: t.f64()?,
+            relevance: t.f64()?,
+            samples_dropped: t.usize()?,
+        },
+        "noc" => ScenarioOutcome::Noc {
+            feasible: t.bool()?,
+            weighted_hops: t.f64()?,
+            energy: t.f64()?,
+            area: t.f64()?,
+            deadlock_free: t.bool()?,
+        },
+        "wsn" => ScenarioOutcome::Wsn {
+            first_death: t.u64()?,
+            half_death: t.u64()?,
+            rounds: t.u64()?,
+            sensed: t.u64()?,
+            delivered: t.u64()?,
+            avg_coverage: t.f64()?,
+            energy_spent: t.f64()?,
+        },
+        "harvest" => ScenarioOutcome::Harvest {
+            work: t.f64()?,
+            dead_slots: t.u64()?,
+            total_slots: t.u64()?,
+            wasted: t.f64()?,
+            harvested: t.f64()?,
+            final_battery: t.f64()?,
+        },
+        "grn" => {
+            let n = t.usize()?;
+            let mut fixed_points = Vec::with_capacity(n);
+            for _ in 0..n {
+                fixed_points.push(t.u64()?);
+            }
+            ScenarioOutcome::Knockout {
+                fixed_points,
+                annotation: t.string()?,
+            }
+        }
+        tag => return Err(format!("unknown outcome tag `{tag}`")),
+    };
+    t.done()?;
+    Ok(outcome)
+}
+
+/// Renders a shard manifest: header, `#shard` line, then one
+/// `<global index> <scenario record>` line per entry.
+pub fn write_manifest(shard: ShardId, entries: &[(usize, &Scenario)]) -> String {
+    let mut out = format!("{MANIFEST_HEADER}\n#shard {}\n", shard.0);
+    for (index, scenario) in entries {
+        out.push_str(&format!("{index} {}\n", encode_scenario(scenario)));
+    }
+    out
+}
+
+/// Parses a shard manifest back into `(shard, [(global index, scenario)])`.
+pub fn parse_manifest(text: &str) -> Result<(ShardId, Vec<(usize, Scenario)>), ManifestError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or_else(|| err(0, "empty manifest"))?;
+    if header != MANIFEST_HEADER {
+        return Err(err(1, format!("bad header `{header}`")));
+    }
+    let mut shard = None;
+    let mut entries = Vec::new();
+    for (i, line) in lines {
+        let lineno = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("#shard ") {
+            let id = rest
+                .trim()
+                .parse()
+                .map_err(|_| err(lineno, format!("bad shard id `{rest}`")))?;
+            shard = Some(ShardId(id));
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // future extension lines
+        }
+        let (index, record) = line
+            .split_once(' ')
+            .ok_or_else(|| err(lineno, "want `<index> <record>`"))?;
+        let index = index
+            .parse()
+            .map_err(|_| err(lineno, format!("bad index `{index}`")))?;
+        let scenario = decode_scenario(record).map_err(|m| err(lineno, m))?;
+        entries.push((index, scenario));
+    }
+    let shard = shard.ok_or_else(|| err(0, "missing #shard line"))?;
+    Ok((shard, entries))
+}
+
+/// Renders a shard outcome file: header, `#shard`, a `#stats` line with
+/// the layout-independent counters, one `#worker` line per worker row,
+/// then one `<global index> <outcome record>` line per outcome.
+pub fn write_outcomes(stats: &BatchStats, entries: &[(usize, ScenarioOutcome)]) -> String {
+    let mut out = format!("{OUTCOMES_HEADER}\n#shard {}\n", stats.shard.0);
+    out.push_str(&format!(
+        "#stats {} {} {} {} {}\n",
+        stats.scenarios, stats.executed, stats.cache_hits, stats.deduped, stats.steals
+    ));
+    for w in &stats.per_worker {
+        out.push_str(&format!(
+            "#worker {} {} {} {} {}\n",
+            w.shard.0, w.worker, w.executed, w.steals, w.cache_hits
+        ));
+    }
+    for (index, outcome) in entries {
+        out.push_str(&format!("{index} {}\n", encode_outcome(outcome)));
+    }
+    out
+}
+
+/// Parses a shard outcome file back into its stats and
+/// `(global index, outcome)` pairs.
+pub fn parse_outcomes(
+    text: &str,
+) -> Result<(BatchStats, Vec<(usize, ScenarioOutcome)>), ManifestError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or_else(|| err(0, "empty outcome file"))?;
+    if header != OUTCOMES_HEADER {
+        return Err(err(1, format!("bad header `{header}`")));
+    }
+    let mut stats = BatchStats::default();
+    let mut saw_stats = false;
+    let mut entries = Vec::new();
+    for (i, line) in lines {
+        let lineno = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("#shard ") {
+            let id = rest
+                .trim()
+                .parse()
+                .map_err(|_| err(lineno, format!("bad shard id `{rest}`")))?;
+            stats.shard = ShardId(id);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("#stats ") {
+            let mut t = Tokens::new(rest);
+            let parsed: Result<_, String> = (|| {
+                let scenarios = t.u64()?;
+                let executed = t.u64()?;
+                let cache_hits = t.u64()?;
+                let deduped = t.u64()?;
+                let steals = t.u64()?;
+                t.done()?;
+                Ok((scenarios, executed, cache_hits, deduped, steals))
+            })();
+            let (scenarios, executed, cache_hits, deduped, steals) =
+                parsed.map_err(|m| err(lineno, m))?;
+            stats.scenarios = scenarios;
+            stats.executed = executed;
+            stats.cache_hits = cache_hits;
+            stats.deduped = deduped;
+            stats.steals = steals;
+            saw_stats = true;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("#worker ") {
+            let mut t = Tokens::new(rest);
+            let parsed: Result<WorkerBatchStats, String> = (|| {
+                let row = WorkerBatchStats {
+                    shard: ShardId(t.u32()?),
+                    worker: t.u32()?,
+                    executed: t.u64()?,
+                    steals: t.u64()?,
+                    cache_hits: t.u64()?,
+                };
+                t.done()?;
+                Ok(row)
+            })();
+            stats.per_worker.push(parsed.map_err(|m| err(lineno, m))?);
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // future extension lines
+        }
+        let (index, record) = line
+            .split_once(' ')
+            .ok_or_else(|| err(lineno, "want `<index> <record>`"))?;
+        let index = index
+            .parse()
+            .map_err(|_| err(lineno, format!("bad index `{index}`")))?;
+        let outcome = decode_outcome(record).map_err(|m| err(lineno, m))?;
+        entries.push((index, outcome));
+    }
+    if !saw_stats {
+        return Err(err(0, "missing #stats line"));
+    }
+    Ok((stats, entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::conformance_corpus;
+
+    #[test]
+    fn corpus_scenarios_round_trip_by_fingerprint() {
+        for scenario in conformance_corpus(42) {
+            let encoded = encode_scenario(&scenario);
+            let decoded = decode_scenario(&encoded)
+                .unwrap_or_else(|m| panic!("decode `{encoded}` failed: {m}"));
+            assert_eq!(
+                scenario.fingerprint(),
+                decoded.fingerprint(),
+                "fingerprint drift through `{encoded}`"
+            );
+            assert_eq!(scenario, decoded);
+        }
+    }
+
+    #[test]
+    fn corpus_outcomes_round_trip_by_digest() {
+        let corpus = conformance_corpus(42);
+        let outcomes = crate::runner::Runner::serial().run(&corpus).outcomes;
+        for outcome in outcomes {
+            let encoded = encode_outcome(&outcome);
+            let decoded = decode_outcome(&encoded)
+                .unwrap_or_else(|m| panic!("decode `{encoded}` failed: {m}"));
+            assert_eq!(
+                outcome.digest(),
+                decoded.digest(),
+                "digest drift through `{encoded}`"
+            );
+        }
+    }
+
+    #[test]
+    fn floats_round_trip_exactly_including_nan() {
+        for v in [0.0, -0.0, 1.5, f64::NAN, f64::INFINITY, f64::MIN_POSITIVE] {
+            let encoded = bits(v);
+            let mut t = Tokens::new(&encoded);
+            let back = t.f64().expect("bits parse");
+            assert_eq!(v.to_bits(), back.to_bits(), "bits drift for {v}");
+        }
+    }
+
+    #[test]
+    fn strings_round_trip_including_empty_and_spaces() {
+        for s in ["", "GATA3", "two words", "β-catenin"] {
+            let encoded = hex_str(s);
+            let mut t = Tokens::new(&encoded);
+            assert_eq!(t.string().expect("string parse"), s);
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let corpus = conformance_corpus(42);
+        let entries: Vec<(usize, &Scenario)> =
+            corpus.iter().enumerate().map(|(i, s)| (i * 3, s)).collect();
+        let text = write_manifest(ShardId(5), &entries);
+        let (shard, parsed) = parse_manifest(&text).expect("manifest parses");
+        assert_eq!(shard, ShardId(5));
+        assert_eq!(parsed.len(), entries.len());
+        for ((i0, s0), (i1, s1)) in entries.iter().zip(&parsed) {
+            assert_eq!(i0, i1);
+            assert_eq!(*s0, s1);
+        }
+    }
+
+    #[test]
+    fn outcome_file_round_trips() {
+        let corpus = conformance_corpus(42);
+        let report = crate::runner::Runner::serial().run(&corpus);
+        let mut stats = report.stats.clone();
+        stats.shard = ShardId(3);
+        for w in &mut stats.per_worker {
+            w.shard = ShardId(3);
+        }
+        let entries: Vec<(usize, ScenarioOutcome)> =
+            report.outcomes.into_iter().enumerate().collect();
+        let text = write_outcomes(&stats, &entries);
+        let (back_stats, back) = parse_outcomes(&text).expect("outcome file parses");
+        assert_eq!(back_stats, stats);
+        assert_eq!(back.len(), entries.len());
+        for ((i0, o0), (i1, o1)) in entries.iter().zip(&back) {
+            assert_eq!(i0, i1);
+            assert_eq!(o0.digest(), o1.digest());
+        }
+    }
+
+    #[test]
+    fn truncated_or_corrupt_records_are_rejected() {
+        assert!(parse_manifest("").is_err());
+        assert!(parse_manifest("# wrong header\n#shard 0\n").is_err());
+        assert!(parse_manifest(&format!("{MANIFEST_HEADER}\n0 fluidics 1\n")).is_err());
+        assert!(decode_scenario("fluidics 1 16 0000000000000000 0 extra").is_err());
+        assert!(decode_scenario("martian 1 2 3").is_err());
+        assert!(decode_outcome("grn 2 5").is_err(), "truncated fixed points");
+        assert!(parse_outcomes(&format!("{OUTCOMES_HEADER}\n#shard 0\n")).is_err());
+    }
+}

@@ -1,0 +1,398 @@
+//! Multi-process sharded sweeps with deterministic merge.
+//!
+//! [`run_sharded`] splits a batch with the same [`ShardPlan`] the
+//! in-process engine uses, serializes each shard's scenarios to a
+//! line-oriented [`manifest`](super::manifest), spawns one `shard_worker`
+//! child process per shard, collects the per-shard outcome (and
+//! optionally telemetry) files and merges them. The merge preserves
+//! digests bit for bit: a scenario's outcome travels as exact IEEE-754
+//! bit patterns, so serial, in-process-sharded and child-process runs of
+//! the same batch are byte-identical (`tests/sharded_conformance.rs`
+//! pins this against the golden corpus).
+//!
+//! ## Fault tolerance
+//!
+//! Distribution must not be able to poison a sweep:
+//!
+//! * every child gets a **per-shard deadline**; a worker that hangs past
+//!   it is killed;
+//! * a worker that crashes, exits non-zero, or writes a truncated or
+//!   corrupt outcome file is detected by record-count and shard-id
+//!   validation;
+//! * every failed shard is **requeued in-process** on a fresh sub-engine
+//!   — the same evaluation a healthy child would have done, so the final
+//!   report still carries golden digests. Degraded shards are listed in
+//!   [`ShardedReport::recovered`].
+//!
+//! When no worker binary can be located at all (e.g. `cargo test`
+//! without the binary built), the whole sweep degrades to in-process
+//! execution with every non-empty shard marked recovered.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use mns_telemetry::MetricsSnapshot;
+
+use super::manifest;
+use super::{
+    BatchStats, Runner, RunnerConfig, Scenario, ScenarioOutcome, ShardId, ShardPlan, ShardStrategy,
+};
+
+/// Environment variable naming the shard-worker binary (overrides
+/// [`ShardedConfig::worker`] discovery, not an explicit `worker` path).
+pub const WORKER_ENV: &str = "MNS_SHARD_WORKER";
+
+/// Environment variable the driver sets on a child to inject a fault
+/// (`crash` or `hang`) for recovery testing.
+pub const FAULT_ENV: &str = "MNS_SHARD_FAULT";
+
+/// A deliberate fault injected into one shard's worker (testing only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardFault {
+    /// The worker evaluates half its manifest, writes a truncated
+    /// outcome file and exits non-zero — a mid-sweep crash.
+    Crash(ShardId),
+    /// The worker sleeps forever; the driver's deadline must kill it.
+    Hang(ShardId),
+}
+
+impl ShardFault {
+    fn applies_to(self, shard: ShardId) -> Option<&'static str> {
+        match self {
+            ShardFault::Crash(s) if s == shard => Some("crash"),
+            ShardFault::Hang(s) if s == shard => Some("hang"),
+            _ => None,
+        }
+    }
+}
+
+/// Parameters for a multi-process sharded sweep.
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// Shard (and worker-process) count; clamped to at least 1.
+    pub shards: usize,
+    /// How scenarios are assigned to shards.
+    pub strategy: ShardStrategy,
+    /// Worker threads per child process (0 = hardware default). The
+    /// conformance tests use 1 so per-worker stats match the in-process
+    /// sharded layout exactly.
+    pub workers_per_shard: usize,
+    /// Per-shard deadline; a child past it is killed and requeued.
+    pub timeout: Duration,
+    /// Explicit worker-binary path. When `None`, the driver tries the
+    /// [`WORKER_ENV`] variable, then [`locate_worker`].
+    pub worker: Option<PathBuf>,
+    /// Directory for manifest/outcome files. When `None`, a unique
+    /// directory under the system temp dir is created and removed after
+    /// the run.
+    pub work_dir: Option<PathBuf>,
+    /// Ask each child for a telemetry metrics file and merge them into
+    /// [`ShardedReport::metrics`].
+    pub collect_metrics: bool,
+    /// Deliberate fault injection for recovery tests.
+    pub fault: Option<ShardFault>,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            shards: 2,
+            strategy: ShardStrategy::RoundRobin,
+            workers_per_shard: 1,
+            timeout: Duration::from_secs(120),
+            worker: None,
+            work_dir: None,
+            collect_metrics: false,
+            fault: None,
+        }
+    }
+}
+
+/// The merged result of a multi-process sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedReport {
+    /// Outcomes in global submission order — byte-identical to a serial
+    /// run of the same batch.
+    pub outcomes: Vec<ScenarioOutcome>,
+    /// Merged batch stats (see [`BatchStats::merge`]).
+    pub stats: BatchStats,
+    /// Per-shard stats in shard order.
+    pub shards: Vec<BatchStats>,
+    /// Shards whose worker failed (crash, hang, bad output, no binary)
+    /// and were re-run in-process, in shard order.
+    pub recovered: Vec<ShardId>,
+    /// Merged child telemetry when [`ShardedConfig::collect_metrics`]
+    /// was set (metrics from requeued shards are lost with the child).
+    pub metrics: Option<MetricsSnapshot>,
+}
+
+/// Searches for the `shard_worker` binary next to the current
+/// executable: its own directory, parent directories up to the target
+/// root, and their `deps`/`examples` subdirectories. Returns the first
+/// existing candidate.
+pub fn locate_worker() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let name = format!("shard_worker{}", std::env::consts::EXE_SUFFIX);
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut cursor = exe.parent();
+    for _ in 0..3 {
+        let Some(dir) = cursor else { break };
+        dirs.push(dir.to_path_buf());
+        dirs.push(dir.join("deps"));
+        dirs.push(dir.join("examples"));
+        cursor = dir.parent();
+    }
+    dirs.into_iter()
+        .map(|d| d.join(&name))
+        .find(|p| p.is_file())
+}
+
+fn resolve_worker(config: &ShardedConfig) -> Option<PathBuf> {
+    if let Some(path) = &config.worker {
+        return Some(path.clone());
+    }
+    if let Some(path) = std::env::var_os(WORKER_ENV) {
+        return Some(PathBuf::from(path));
+    }
+    locate_worker()
+}
+
+/// One child in flight.
+struct Pending {
+    shard: ShardId,
+    child: Child,
+    deadline: Instant,
+    out_path: PathBuf,
+    metrics_path: Option<PathBuf>,
+}
+
+/// Evaluates `scenarios` across `config.shards` child processes and
+/// merges the results deterministically. See the module docs for the
+/// failure model.
+///
+/// # Errors
+///
+/// Returns an error only for driver-side I/O failures (work-dir
+/// creation, manifest writes). Worker failures never surface as errors —
+/// they degrade to in-process execution.
+pub fn run_sharded(scenarios: &[Scenario], config: &ShardedConfig) -> io::Result<ShardedReport> {
+    static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
+    let (dir, ephemeral) = match &config.work_dir {
+        Some(dir) => (dir.clone(), false),
+        None => {
+            let unique = format!(
+                "mns-sharded-{}-{}",
+                std::process::id(),
+                RUN_COUNTER.fetch_add(1, Ordering::Relaxed)
+            );
+            (std::env::temp_dir().join(unique), true)
+        }
+    };
+    std::fs::create_dir_all(&dir)?;
+    let result = run_in_dir(scenarios, config, &dir);
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    result
+}
+
+fn run_in_dir(
+    scenarios: &[Scenario],
+    config: &ShardedConfig,
+    dir: &Path,
+) -> io::Result<ShardedReport> {
+    let plan = ShardPlan::split_with(scenarios, config.shards, config.strategy);
+    let worker = resolve_worker(config);
+    let mut pending: Vec<Pending> = Vec::new();
+    let mut failed: Vec<ShardId> = Vec::new();
+    let mut shard_stats: Vec<Option<BatchStats>> = vec![None; plan.shards()];
+    let mut pairs: Vec<(usize, ScenarioOutcome)> = Vec::with_capacity(scenarios.len());
+    let mut metrics = config.collect_metrics.then(MetricsSnapshot::default);
+
+    for (shard, indices) in plan.iter() {
+        if indices.is_empty() {
+            // Nothing to distribute: record an empty shard entry so the
+            // breakdown always has one row per planned shard.
+            let (empty_pairs, stats) = Runner::new(RunnerConfig {
+                workers: 1,
+                cache: true,
+                shards: 1,
+                strategy: config.strategy,
+            })
+            .run_indices(scenarios, indices, shard);
+            debug_assert!(empty_pairs.is_empty());
+            shard_stats[shard.0 as usize] = Some(stats);
+            continue;
+        }
+        let Some(worker) = &worker else {
+            failed.push(shard);
+            continue;
+        };
+        let manifest_path = dir.join(format!("shard-{}.manifest", shard.0));
+        let out_path = dir.join(format!("shard-{}.outcomes", shard.0));
+        let metrics_path = config
+            .collect_metrics
+            .then(|| dir.join(format!("shard-{}.metrics", shard.0)));
+        let entries: Vec<(usize, &Scenario)> =
+            indices.iter().map(|&i| (i, &scenarios[i])).collect();
+        std::fs::write(&manifest_path, manifest::write_manifest(shard, &entries))?;
+
+        let mut cmd = Command::new(worker);
+        cmd.arg("--manifest")
+            .arg(&manifest_path)
+            .arg("--out")
+            .arg(&out_path)
+            .arg("--shard")
+            .arg(shard.0.to_string())
+            .arg("--workers")
+            .arg(config.workers_per_shard.to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null());
+        if let Some(path) = &metrics_path {
+            cmd.arg("--metrics").arg(path);
+        }
+        if let Some(mode) = config.fault.and_then(|f| f.applies_to(shard)) {
+            cmd.env(FAULT_ENV, mode);
+        }
+        match cmd.spawn() {
+            Ok(child) => pending.push(Pending {
+                shard,
+                child,
+                deadline: Instant::now() + config.timeout,
+                out_path,
+                metrics_path,
+            }),
+            Err(_) => failed.push(shard),
+        }
+    }
+
+    // Reap children: normal exit, crash, or deadline kill.
+    while !pending.is_empty() {
+        let mut still_running = Vec::with_capacity(pending.len());
+        for mut p in pending {
+            match p.child.try_wait() {
+                Ok(Some(status)) if status.success() => {
+                    match collect_shard(&p, &plan, scenarios, &mut metrics) {
+                        Some((shard_pairs, stats)) => {
+                            pairs.extend(shard_pairs);
+                            shard_stats[p.shard.0 as usize] = Some(stats);
+                        }
+                        None => failed.push(p.shard),
+                    }
+                }
+                Ok(Some(_)) => failed.push(p.shard), // crashed / non-zero
+                Ok(None) if Instant::now() >= p.deadline => {
+                    let _ = p.child.kill();
+                    let _ = p.child.wait();
+                    failed.push(p.shard);
+                }
+                Ok(None) => still_running.push(p),
+                Err(_) => {
+                    let _ = p.child.kill();
+                    failed.push(p.shard);
+                }
+            }
+        }
+        pending = still_running;
+        if !pending.is_empty() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    // Requeue every failed shard in-process: a fresh sub-engine per
+    // shard is exactly what a healthy child would have been.
+    failed.sort_unstable();
+    for &shard in &failed {
+        let mut sub = Runner::new(RunnerConfig {
+            workers: config.workers_per_shard,
+            cache: true,
+            shards: 1,
+            strategy: config.strategy,
+        });
+        let (shard_pairs, stats) = sub.run_indices(scenarios, plan.indices(shard), shard);
+        pairs.extend(shard_pairs);
+        shard_stats[shard.0 as usize] = Some(stats);
+    }
+
+    let shards: Vec<BatchStats> = shard_stats
+        .into_iter()
+        .map(|s| s.expect("every shard either collected or requeued"))
+        .collect();
+    pairs.sort_unstable_by_key(|(i, _)| *i);
+    let outcomes = pairs.into_iter().map(|(_, outcome)| outcome).collect();
+    Ok(ShardedReport {
+        outcomes,
+        stats: BatchStats::merged(&shards),
+        shards,
+        recovered: failed,
+        metrics,
+    })
+}
+
+/// Reads one healthy-looking child's outcome (and metrics) files,
+/// validating shard id and record coverage. Returns `None` when the
+/// output is truncated or inconsistent, sending the shard to requeue.
+fn collect_shard(
+    p: &Pending,
+    plan: &ShardPlan,
+    scenarios: &[Scenario],
+    metrics: &mut Option<MetricsSnapshot>,
+) -> Option<(Vec<(usize, ScenarioOutcome)>, BatchStats)> {
+    let text = std::fs::read_to_string(&p.out_path).ok()?;
+    let (stats, entries) = manifest::parse_outcomes(&text).ok()?;
+    if stats.shard != p.shard {
+        return None;
+    }
+    let expected = plan.indices(p.shard);
+    if entries.len() != expected.len() {
+        return None;
+    }
+    let mut seen: Vec<usize> = entries.iter().map(|(i, _)| *i).collect();
+    seen.sort_unstable();
+    if seen != expected || seen.iter().any(|&i| i >= scenarios.len()) {
+        return None;
+    }
+    if let (Some(agg), Some(path)) = (metrics.as_mut(), p.metrics_path.as_ref()) {
+        // Missing/corrupt metrics degrade silently: the outcomes are the
+        // contract, telemetry is best-effort.
+        if let Some(snap) = std::fs::read_to_string(path)
+            .ok()
+            .and_then(|t| MetricsSnapshot::from_wire(&t).ok())
+        {
+            agg.merge(&snap);
+        }
+    }
+    Some((entries, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::conformance_corpus;
+
+    // Multi-process paths are exercised by `tests/sharded_conformance.rs`
+    // where Cargo guarantees the worker binary exists; here we pin the
+    // no-binary degradation path only.
+    #[test]
+    fn missing_worker_degrades_to_in_process() {
+        let corpus: Vec<Scenario> = conformance_corpus(42)
+            .into_iter()
+            .filter(|s| !matches!(s, Scenario::LabChip(_)))
+            .take(6)
+            .collect();
+        let config = ShardedConfig {
+            shards: 2,
+            worker: Some(PathBuf::from("/nonexistent/shard_worker")),
+            ..ShardedConfig::default()
+        };
+        let report = run_sharded(&corpus, &config).expect("driver I/O works");
+        let reference = Runner::serial().run(&corpus);
+        assert_eq!(report.outcomes, reference.outcomes);
+        assert_eq!(report.stats.totals(), reference.stats.totals());
+        assert_eq!(report.recovered, vec![ShardId(0), ShardId(1)]);
+    }
+}

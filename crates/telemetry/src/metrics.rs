@@ -144,6 +144,123 @@ impl MetricsSnapshot {
         }
         out
     }
+
+    /// Folds another snapshot into this one: counters are summed
+    /// (saturating), histograms merged bucket-wise. Associative and
+    /// order-insensitive, so per-shard snapshots from worker processes
+    /// merge to the same aggregate in any order.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, value) in &other.counters {
+            let slot = self.counters.entry(name.clone()).or_insert(0);
+            *slot = slot.saturating_add(*value);
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Lossless wire rendering for cross-process metrics merge. Unlike
+    /// [`to_text`](MetricsSnapshot::to_text) (a human/regression-diff
+    /// format that drops buckets), this round-trips through
+    /// [`from_wire`](MetricsSnapshot::from_wire) exactly: histogram
+    /// lines carry count/sum/min/max plus sparse `bucket:count` pairs.
+    /// Metric names must not contain whitespace (no name in this
+    /// workspace does; names are dotted identifiers).
+    pub fn to_wire(&self) -> String {
+        let mut out = String::from("# mns-telemetry metrics wire v1\n");
+        for (name, value) in &self.counters {
+            out.push_str(&format!("counter {name} {value}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "hist {name} {} {} {} {}",
+                h.count, h.sum, h.min, h.max
+            ));
+            for (i, &b) in h.buckets.iter().enumerate() {
+                if b != 0 {
+                    out.push_str(&format!(" {i}:{b}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a rendering produced by [`to_wire`](MetricsSnapshot::to_wire).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_wire(text: &str) -> Result<MetricsSnapshot, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("# mns-telemetry metrics wire v1") => {}
+            other => return Err(format!("bad wire header: {other:?}")),
+        }
+        let mut snap = MetricsSnapshot::default();
+        for (i, line) in lines.enumerate() {
+            let lineno = i + 2;
+            if line.is_empty() {
+                continue;
+            }
+            let mut fields = line.split_whitespace();
+            match fields.next() {
+                Some("counter") => {
+                    let name = fields
+                        .next()
+                        .ok_or_else(|| format!("line {lineno}: counter without name"))?;
+                    let value: u64 = fields
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| format!("line {lineno}: bad counter value"))?;
+                    if fields.next().is_some() {
+                        return Err(format!("line {lineno}: trailing counter tokens"));
+                    }
+                    let slot = snap.counters.entry(name.to_owned()).or_insert(0);
+                    *slot = slot.saturating_add(value);
+                }
+                Some("hist") => {
+                    let name = fields
+                        .next()
+                        .ok_or_else(|| format!("line {lineno}: hist without name"))?;
+                    let mut summary = [0u64; 4];
+                    for slot in &mut summary {
+                        *slot = fields
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| format!("line {lineno}: bad hist summary"))?;
+                    }
+                    let mut h = Histogram {
+                        count: summary[0],
+                        sum: summary[1],
+                        min: summary[2],
+                        max: summary[3],
+                        buckets: [0; HISTOGRAM_BUCKETS],
+                    };
+                    for pair in fields {
+                        let (bucket, count) = pair
+                            .split_once(':')
+                            .ok_or_else(|| format!("line {lineno}: bad bucket `{pair}`"))?;
+                        let bucket: usize = bucket
+                            .parse()
+                            .map_err(|_| format!("line {lineno}: bad bucket index `{pair}`"))?;
+                        if bucket >= HISTOGRAM_BUCKETS {
+                            return Err(format!("line {lineno}: bucket {bucket} out of range"));
+                        }
+                        h.buckets[bucket] = count
+                            .parse()
+                            .map_err(|_| format!("line {lineno}: bad bucket count `{pair}`"))?;
+                    }
+                    snap.histograms
+                        .entry(name.to_owned())
+                        .or_default()
+                        .merge(&h);
+                }
+                _ => return Err(format!("line {lineno}: unknown wire record `{line}`")),
+            }
+        }
+        Ok(snap)
+    }
 }
 
 /// Checks that `text` is a well-formed snapshot rendering and returns
@@ -255,5 +372,50 @@ mod tests {
     #[test]
     fn empty_histogram_mean_is_nan() {
         assert!(Histogram::default().mean().is_nan());
+    }
+
+    #[test]
+    fn wire_format_round_trips_losslessly() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("runner.executed".to_owned(), 23);
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 7, 1000, u64::MAX] {
+            h.record(v);
+        }
+        snap.histograms.insert("runner.evaluate_ns".to_owned(), h);
+        // An empty histogram (min = u64::MAX sentinel) must survive too.
+        snap.histograms
+            .insert("runner.queue_wait_ns".to_owned(), Histogram::default());
+        let wire = snap.to_wire();
+        let back = MetricsSnapshot::from_wire(&wire).expect("wire parses");
+        assert_eq!(back, snap, "wire format must be lossless");
+        assert!(MetricsSnapshot::from_wire("garbage").is_err());
+        assert!(MetricsSnapshot::from_wire("# mns-telemetry metrics wire v1\nhist x 1\n").is_err());
+    }
+
+    #[test]
+    fn snapshot_merge_is_order_insensitive() {
+        let mut a = MetricsSnapshot::default();
+        a.counters.insert("n".to_owned(), 2);
+        let mut ha = Histogram::default();
+        ha.record(4);
+        a.histograms.insert("h".to_owned(), ha);
+
+        let mut b = MetricsSnapshot::default();
+        b.counters.insert("n".to_owned(), 3);
+        b.counters.insert("m".to_owned(), 1);
+        let mut hb = Histogram::default();
+        hb.record(16);
+        b.histograms.insert("h".to_owned(), hb);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter("n"), 5);
+        assert_eq!(ab.counter("m"), 1);
+        assert_eq!(ab.histograms["h"].count, 2);
+        assert_eq!(ab.histograms["h"].sum, 20);
     }
 }

@@ -15,7 +15,7 @@
 
 use micronano::core::labchip::{LabChipPipeline, PipelineConfig};
 use micronano::core::report::{fmt_f64, Table};
-use micronano::core::runner::{run_scenarios, FluidicsScenario, Scenario, ScenarioOutcome};
+use micronano::core::runner::{FluidicsScenario, RunnerConfig, Scenario, ScenarioOutcome};
 use micronano::fluidics::assay::multiplex_immunoassay;
 use micronano::fluidics::compiler::{compile, CompilerConfig};
 use micronano::fluidics::FaultConfig;
@@ -40,7 +40,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }));
         }
     }
-    let outcomes = run_scenarios(&scenarios, 0);
+    let outcomes = RunnerConfig::new()
+        .workers(0)
+        .cache(false)
+        .build()
+        .run(&scenarios)
+        .outcomes;
 
     let mut sweep = Table::new(
         "sweep",

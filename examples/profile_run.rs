@@ -76,7 +76,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     telemetry::enable(Arc::new(telemetry::WallClock::default()));
     let batch = mixed_batch();
     let mut runner = Runner::new(Default::default());
-    let (outcomes, stats) = runner.run_batch_stats(&batch);
+    let report = runner.run(&batch);
+    let (outcomes, stats) = (report.outcomes, report.stats);
     telemetry::disable();
 
     println!(
@@ -88,10 +89,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.deduped,
         stats.steals,
     );
-    for (w, ws) in stats.per_worker.iter().enumerate() {
+    for ws in &stats.per_worker {
         println!(
-            "  worker {w}: executed {:>2}  steals {:>2}  cache hits {:>2}",
-            ws.executed, ws.steals, ws.cache_hits
+            "  worker {}: executed {:>2}  steals {:>2}  cache hits {:>2}",
+            ws.worker, ws.executed, ws.steals, ws.cache_hits
         );
     }
     println!("  load balance: {:.2}\n", stats.balance());

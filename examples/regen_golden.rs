@@ -18,7 +18,7 @@ const CORPUS_SEED: u64 = 42;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let corpus = conformance_corpus(CORPUS_SEED);
-    let outcomes = Runner::serial().run_batch(&corpus);
+    let outcomes = Runner::serial().run(&corpus).outcomes;
 
     let mut lines = String::new();
     lines.push_str("# Golden conformance digests — regenerate with\n");

@@ -1,0 +1,111 @@
+//! Multi-process sharded sweep: the golden corpus across real child
+//! processes, with a deliberately crashed worker to show recovery.
+//!
+//! Runs `conformance_corpus(42)` three ways — serial, 4 in-process
+//! shards, 4 `shard_worker` child processes — and proves the
+//! per-scenario digests identical across all three. Then injects a
+//! crash into one shard's worker and shows the driver requeueing it
+//! in-process without a single digest moving.
+//!
+//! The worker binary ships with the package; build it first:
+//!
+//! ```sh
+//! cargo build --release --bin shard_worker
+//! cargo run   --release --example sharded_sweep
+//! ```
+//!
+//! (Without the binary the driver still completes — every shard simply
+//! degrades to in-process execution and is listed as recovered.)
+
+use micronano::core::report::Table;
+use micronano::core::runner::sharded::{run_sharded, ShardFault, ShardedConfig};
+use micronano::core::runner::{conformance_corpus, Runner, RunnerConfig, ShardId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("micronano sharded_sweep — corpus across processes\n");
+    let corpus = conformance_corpus(42);
+
+    let serial = Runner::serial().run(&corpus);
+    let in_process = RunnerConfig::new()
+        .workers(1)
+        .shards(4)
+        .build()
+        .run(&corpus);
+    let multi = run_sharded(
+        &corpus,
+        &ShardedConfig {
+            shards: 4,
+            ..ShardedConfig::default()
+        },
+    )?;
+
+    let mut t = Table::new(
+        "modes",
+        "one corpus, three execution modes",
+        &[
+            "mode",
+            "scenarios",
+            "executed",
+            "shards",
+            "recovered",
+            "digests == serial",
+        ],
+    );
+    let digests = serial.digests();
+    for (mode, totals, shards, recovered, same) in [
+        ("serial", serial.stats.totals(), 1, 0, true),
+        (
+            "4 shards, in-process",
+            in_process.stats.totals(),
+            in_process.shards.len(),
+            0,
+            in_process.digests() == digests,
+        ),
+        (
+            "4 child processes",
+            multi.stats.totals(),
+            multi.shards.len(),
+            multi.recovered.len(),
+            multi
+                .outcomes
+                .iter()
+                .map(|o| o.digest())
+                .collect::<Vec<_>>()
+                == digests,
+        ),
+    ] {
+        t.row_owned(vec![
+            mode.to_owned(),
+            totals.scenarios.to_string(),
+            totals.executed.to_string(),
+            shards.to_string(),
+            recovered.to_string(),
+            if same { "yes" } else { "NO" }.to_owned(),
+        ]);
+    }
+    println!("{t}");
+
+    // Now kill a worker mid-shard and watch the driver recover.
+    let crashed = run_sharded(
+        &corpus,
+        &ShardedConfig {
+            shards: 4,
+            fault: Some(ShardFault::Crash(ShardId(2))),
+            ..ShardedConfig::default()
+        },
+    )?;
+    let ok = crashed
+        .outcomes
+        .iter()
+        .map(micronano::core::runner::ScenarioOutcome::digest)
+        .collect::<Vec<_>>()
+        == digests;
+    println!(
+        "crash injection: shard 2's worker exited mid-manifest; requeued {:?} \
+         in-process; digests {} serial",
+        crashed.recovered,
+        if ok { "still match" } else { "DIVERGED from" },
+    );
+    assert!(ok, "recovery must not move a digest");
+    Ok(())
+}

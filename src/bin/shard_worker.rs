@@ -1,0 +1,143 @@
+//! Shard worker: the child-process half of `runner::sharded`.
+//!
+//! Reads a shard manifest, evaluates the scenarios through the standard
+//! [`Runner`](micronano::core::runner::Runner), and writes the outcome
+//! file the parent merges. Usage (normally spawned by
+//! `runner::sharded::run_sharded`, not by hand):
+//!
+//! ```sh
+//! shard_worker --manifest shard-0.manifest --out shard-0.outcomes \
+//!              --shard 0 [--workers 1] [--metrics shard-0.metrics]
+//! ```
+//!
+//! Exit codes: 0 success, 2 usage/I-O/parse error, 3 injected crash.
+//!
+//! The `MNS_SHARD_FAULT` environment variable (set by the driver's
+//! recovery tests) injects faults: `crash` evaluates half the manifest,
+//! writes a truncated outcome file and exits 3; `hang` sleeps until the
+//! parent's deadline kills the process.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use micronano::core::runner::manifest::{parse_manifest, write_outcomes};
+use micronano::core::runner::sharded::FAULT_ENV;
+use micronano::core::runner::{RunnerConfig, Scenario, ScenarioOutcome, ShardId};
+use micronano::telemetry;
+
+struct Args {
+    manifest: PathBuf,
+    out: PathBuf,
+    shard: ShardId,
+    workers: usize,
+    metrics: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut manifest = None;
+    let mut out = None;
+    let mut shard = None;
+    let mut workers = 1usize;
+    let mut metrics = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |flag: &str| {
+            argv.next()
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--manifest" => manifest = Some(PathBuf::from(value("--manifest")?)),
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--shard" => {
+                let v = value("--shard")?;
+                shard = Some(ShardId(
+                    v.parse().map_err(|_| format!("bad shard id `{v}`"))?,
+                ));
+            }
+            "--workers" => {
+                let v = value("--workers")?;
+                workers = v.parse().map_err(|_| format!("bad worker count `{v}`"))?;
+            }
+            "--metrics" => metrics = Some(PathBuf::from(value("--metrics")?)),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(Args {
+        manifest: manifest.ok_or("--manifest is required")?,
+        out: out.ok_or("--out is required")?,
+        shard: shard.ok_or("--shard is required")?,
+        workers,
+        metrics,
+    })
+}
+
+/// Runs the shard and returns the process exit code.
+fn run(args: &Args) -> Result<i32, String> {
+    let fault = std::env::var(FAULT_ENV).ok();
+    if fault.as_deref() == Some("hang") {
+        // Sleep until the parent's deadline kills us; cap at 10 minutes
+        // so an orphaned worker cannot outlive a forgotten test run.
+        std::thread::sleep(Duration::from_secs(600));
+        return Ok(4);
+    }
+
+    let text = std::fs::read_to_string(&args.manifest)
+        .map_err(|e| format!("read {}: {e}", args.manifest.display()))?;
+    let (manifest_shard, entries) = parse_manifest(&text).map_err(|e| e.to_string())?;
+    if manifest_shard != args.shard {
+        return Err(format!(
+            "manifest is for {manifest_shard}, worker launched for {}",
+            args.shard
+        ));
+    }
+
+    if args.metrics.is_some() {
+        telemetry::enable(Arc::new(telemetry::WallClock::default()));
+    }
+
+    // An injected crash evaluates only half the manifest and truncates
+    // the output — the parent must detect the short record count.
+    let crash = fault.as_deref() == Some("crash");
+    let keep = if crash {
+        entries.len() / 2
+    } else {
+        entries.len()
+    };
+    let scenarios: Vec<Scenario> = entries[..keep].iter().map(|(_, s)| s.clone()).collect();
+
+    let mut runner = RunnerConfig::new().workers(args.workers).build();
+    let mut report = runner.run(&scenarios);
+    // The worker ran an unsharded batch; restamp stats with the global
+    // shard identity before they cross the process boundary.
+    report.stats.shard = args.shard;
+    for row in &mut report.stats.per_worker {
+        row.shard = args.shard;
+    }
+    let pairs: Vec<(usize, ScenarioOutcome)> = entries[..keep]
+        .iter()
+        .map(|(i, _)| *i)
+        .zip(report.outcomes)
+        .collect();
+    std::fs::write(&args.out, write_outcomes(&report.stats, &pairs))
+        .map_err(|e| format!("write {}: {e}", args.out.display()))?;
+
+    if let Some(path) = &args.metrics {
+        telemetry::disable();
+        let snap = telemetry::snapshot();
+        std::fs::write(path, snap.to_wire())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+    }
+    Ok(if crash { 3 } else { 0 })
+}
+
+fn main() {
+    let code = match parse_args().and_then(|args| run(&args)) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("shard_worker: {message}");
+            2
+        }
+    };
+    std::process::exit(code);
+}

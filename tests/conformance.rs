@@ -16,8 +16,8 @@
 use std::collections::BTreeMap;
 
 use micronano::core::runner::{
-    conformance_corpus, run_scenarios, FluidicsScenario, GrnModel, HarvestScenario,
-    KnockoutScenario, NocScenario, Runner, Scenario, WsnScenario,
+    conformance_corpus, FluidicsScenario, GrnModel, HarvestScenario, KnockoutScenario, NocScenario,
+    Runner, RunnerConfig, Scenario, WsnScenario,
 };
 use micronano::noc::graph::CommGraph;
 use micronano::wsn::harvest::DutyPolicy;
@@ -44,7 +44,7 @@ fn golden_digests() -> BTreeMap<String, String> {
 #[test]
 fn serial_run_matches_golden_corpus() {
     let corpus = conformance_corpus(CORPUS_SEED);
-    let outcomes = Runner::serial().run_batch(&corpus);
+    let outcomes = Runner::serial().run(&corpus).outcomes;
     let golden = golden_digests();
     assert_eq!(
         golden.len(),
@@ -69,9 +69,14 @@ fn serial_run_matches_golden_corpus() {
 #[test]
 fn parallel_runs_are_byte_identical_to_serial() {
     let corpus = conformance_corpus(CORPUS_SEED);
-    let reference = Runner::serial().run_batch(&corpus);
+    let reference = Runner::serial().run(&corpus).outcomes;
     for workers in [1usize, 2, 8] {
-        let parallel = run_scenarios(&corpus, workers);
+        let parallel = RunnerConfig::new()
+            .workers(workers)
+            .cache(false)
+            .build()
+            .run(&corpus)
+            .outcomes;
         assert_eq!(
             reference.len(),
             parallel.len(),
@@ -93,9 +98,9 @@ fn parallel_runs_are_byte_identical_to_serial() {
 fn cached_replay_is_byte_identical_to_fresh_run() {
     let corpus = conformance_corpus(CORPUS_SEED);
     let mut runner = Runner::with_workers(4);
-    let fresh = runner.run_batch(&corpus);
+    let fresh = runner.run(&corpus).outcomes;
     let executed = runner.stats().executed;
-    let replay = runner.run_batch(&corpus);
+    let replay = runner.run(&corpus).outcomes;
     assert_eq!(fresh, replay, "cache replay must not change outcomes");
     assert_eq!(
         runner.stats().executed,
@@ -182,8 +187,18 @@ proptest! {
         workers in 2usize..9,
     ) {
         let batch = random_batch(seed, len);
-        let serial = run_scenarios(&batch, 1);
-        let parallel = run_scenarios(&batch, workers);
+        let serial = RunnerConfig::new()
+            .workers(1)
+            .cache(false)
+            .build()
+            .run(&batch)
+            .outcomes;
+        let parallel = RunnerConfig::new()
+            .workers(workers)
+            .cache(false)
+            .build()
+            .run(&batch)
+            .outcomes;
         prop_assert_eq!(serial.len(), parallel.len());
         for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
             prop_assert_eq!(
@@ -201,10 +216,15 @@ proptest! {
         len in 2usize..6,
     ) {
         let batch = random_batch(seed, len);
-        let uncached = run_scenarios(&batch, 4);
+        let uncached = RunnerConfig::new()
+            .workers(4)
+            .cache(false)
+            .build()
+            .run(&batch)
+            .outcomes;
         let mut runner = Runner::with_workers(4);
-        let warm = runner.run_batch(&batch);
-        let cached = runner.run_batch(&batch);
+        let warm = runner.run(&batch).outcomes;
+        let cached = runner.run(&batch).outcomes;
         prop_assert_eq!(&uncached, &warm);
         prop_assert_eq!(&warm, &cached);
     }

@@ -1,0 +1,59 @@
+//! The deprecated 0.1 entry points must remain thin, faithful delegates
+//! of the consolidated `Runner::run` path until they are removed.
+//!
+//! This is the **only** file in the workspace allowed to silence
+//! deprecation warnings (CI greps for the attribute); everything else
+//! must build under `RUSTFLAGS="-D deprecated"`.
+
+#![allow(deprecated)]
+
+use micronano::core::explore::{explore_noc_parallel, explore_noc_with};
+use micronano::core::runner::{conformance_corpus, run_scenarios, Runner, RunnerConfig};
+use micronano::noc::graph::CommGraph;
+
+/// Seed of the committed corpus (must match `examples/regen_golden.rs`).
+const CORPUS_SEED: u64 = 42;
+
+#[test]
+fn run_batch_matches_run() {
+    let corpus = conformance_corpus(CORPUS_SEED);
+    let old = Runner::serial().run_batch(&corpus);
+    let new = Runner::serial().run(&corpus).outcomes;
+    assert_eq!(old, new);
+}
+
+#[test]
+fn run_batch_stats_matches_run() {
+    let corpus = conformance_corpus(CORPUS_SEED);
+    let (old_outcomes, old_stats) = Runner::with_workers(2).run_batch_stats(&corpus);
+    let new = RunnerConfig::new().workers(2).build().run(&corpus);
+    assert_eq!(old_outcomes, new.outcomes);
+    assert_eq!(old_stats.totals(), new.stats.totals());
+    assert_eq!(old_stats.per_worker.len(), new.stats.per_worker.len());
+}
+
+#[test]
+fn run_scenarios_matches_builder_chain() {
+    let corpus = conformance_corpus(CORPUS_SEED);
+    let old = run_scenarios(&corpus, 2);
+    let new = RunnerConfig::new()
+        .workers(2)
+        .cache(false)
+        .build()
+        .run(&corpus)
+        .outcomes;
+    assert_eq!(old, new);
+}
+
+#[test]
+fn explore_noc_parallel_matches_explore_noc_with() {
+    let app = CommGraph::hotspot(12, 1.0);
+    let old = explore_noc_parallel(&app, &[2, 4], &[0, 2], 2);
+    let new = explore_noc_with(
+        &app,
+        &[2, 4],
+        &[0, 2],
+        RunnerConfig::new().workers(2).cache(false),
+    );
+    assert_eq!(old, new);
+}

@@ -20,8 +20,8 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 use micronano::core::runner::{
-    conformance_corpus, run_scenarios, FluidicsScenario, GrnModel, HarvestScenario,
-    KnockoutScenario, NocScenario, Runner, Scenario, WsnScenario,
+    conformance_corpus, FluidicsScenario, GrnModel, HarvestScenario, KnockoutScenario, NocScenario,
+    Runner, RunnerConfig, Scenario, ScenarioOutcome, WsnScenario,
 };
 use micronano::noc::graph::CommGraph;
 use micronano::telemetry;
@@ -35,6 +35,17 @@ use rand_chacha::ChaCha8Rng;
 const CORPUS_SEED: u64 = 42;
 
 static LOCK: Mutex<()> = Mutex::new(());
+
+/// Uncached one-shot run at a given worker count (the old
+/// `run_scenarios` shape, expressed through the consolidated API).
+fn run_plain(batch: &[Scenario], workers: usize) -> Vec<ScenarioOutcome> {
+    RunnerConfig::new()
+        .workers(workers)
+        .cache(false)
+        .build()
+        .run(batch)
+        .outcomes
+}
 
 /// Runs `f` with exclusive ownership of the global telemetry state,
 /// disabled and empty on entry and on exit.
@@ -115,7 +126,7 @@ fn disabled_telemetry_leaves_golden_corpus_untouched() {
     isolated(|| {
         assert!(!telemetry::is_enabled(), "telemetry must default to off");
         let corpus = conformance_corpus(CORPUS_SEED);
-        let outcomes = Runner::serial().run_batch(&corpus);
+        let outcomes = Runner::serial().run(&corpus).outcomes;
         // Nothing was recorded by the instrumented hot paths…
         assert!(telemetry::take_trace().is_empty());
         assert!(telemetry::snapshot().is_empty());
@@ -145,7 +156,7 @@ fn span_tree_structure_is_identical_across_worker_counts() {
         for workers in [1usize, 2, 8] {
             telemetry::reset();
             telemetry::enable(Arc::new(telemetry::VirtualClock::default()));
-            let out = run_scenarios(&batch, workers);
+            let out = run_plain(&batch, workers);
             telemetry::disable();
             let trace = telemetry::take_trace();
             assert!(!trace.is_empty(), "instrumented run must record spans");
@@ -162,9 +173,9 @@ fn span_tree_structure_is_identical_across_worker_counts() {
         assert_eq!(outcomes[0], outcomes[1]);
         assert_eq!(outcomes[0], outcomes[2]);
         // Every non-duplicate scenario got its own task lane, plus the
-        // untracked runner.run_batch root.
+        // untracked runner.run root.
         let reference = &structures[0].1;
-        for line in ["[track 0] scenario.", "[untracked] runner.run_batch"] {
+        for line in ["[track 0] scenario.", "[untracked] runner.run"] {
             assert!(
                 reference.contains(line),
                 "expected `{line}` in:\n{reference}"
@@ -178,7 +189,7 @@ fn chrome_trace_and_folded_exports_validate() {
     isolated(|| {
         telemetry::enable(Arc::new(telemetry::VirtualClock::default()));
         let batch = cheap_batch(11, 6);
-        let _ = run_scenarios(&batch, 4);
+        let _ = run_plain(&batch, 4);
         telemetry::disable();
         let trace = telemetry::take_trace();
         let spans = trace.span_count();
@@ -197,7 +208,7 @@ fn chrome_trace_and_folded_exports_validate() {
         // count is the number of *distinct* stacks, never more than the
         // span count and at least the depth-1 variety of the batch.
         assert!(stacks > 0 && stacks <= spans, "{stacks} vs {spans}");
-        assert!(folded.contains("runner.run_batch "));
+        assert!(folded.contains("runner.run "));
         assert!(folded.lines().any(|l| l.starts_with("scenario.")));
 
         let snap = telemetry::snapshot();
@@ -220,9 +231,9 @@ proptest! {
     ) {
         let batch = cheap_batch(seed, len);
         let (plain, instrumented) = isolated(|| {
-            let plain = run_scenarios(&batch, workers);
+            let plain = run_plain(&batch, workers);
             telemetry::enable(Arc::new(telemetry::VirtualClock::default()));
-            let instrumented = run_scenarios(&batch, workers);
+            let instrumented = run_plain(&batch, workers);
             telemetry::disable();
             (plain, instrumented)
         });
