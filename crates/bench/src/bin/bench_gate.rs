@@ -1,0 +1,120 @@
+//! CI benchmark-regression gate.
+//!
+//! ```text
+//! bench_gate --json <run.jsonl> --baseline <BENCH_6.json> [--threshold <pct>] [--update]
+//! ```
+//!
+//! Reads the JSONL written by the vendored criterion harness under
+//! `MNS_BENCH_JSON`, compares medians against the committed baseline and
+//! exits non-zero if any tracked bench regressed more than the threshold
+//! (default 25 %). With `--update` — or when the baseline file does not
+//! exist yet — the baseline is rewritten from the current run instead,
+//! which CI commits under the `[bench-update]` marker.
+
+use std::process::ExitCode;
+
+use mns_bench::gate;
+
+struct Args {
+    json: String,
+    baseline: String,
+    threshold_pct: u32,
+    update: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut json = None;
+    let mut baseline = None;
+    let mut threshold_pct = 25;
+    let mut update = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--json" => json = Some(argv.next().ok_or("--json needs a path")?),
+            "--baseline" => baseline = Some(argv.next().ok_or("--baseline needs a path")?),
+            "--threshold" => {
+                threshold_pct = argv
+                    .next()
+                    .ok_or("--threshold needs a percentage")?
+                    .parse()
+                    .map_err(|e| format!("bad --threshold: {e}"))?;
+            }
+            "--update" => update = true,
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(Args {
+        json: json.ok_or("--json <path> is required")?,
+        baseline: baseline.ok_or("--baseline <path> is required")?,
+        threshold_pct,
+        update,
+    })
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let jsonl = std::fs::read_to_string(&args.json)
+        .map_err(|e| format!("cannot read bench run {}: {e}", args.json))?;
+    let current = gate::parse_jsonl(&jsonl)?;
+    if current.is_empty() {
+        return Err(format!("bench run {} contains no records", args.json));
+    }
+
+    let baseline_text = match std::fs::read_to_string(&args.baseline) {
+        Ok(t) => Some(t),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(e) => return Err(format!("cannot read baseline {}: {e}", args.baseline)),
+    };
+
+    if args.update || baseline_text.is_none() {
+        std::fs::write(&args.baseline, gate::render_baseline(&current))
+            .map_err(|e| format!("cannot write baseline {}: {e}", args.baseline))?;
+        let reason = if args.update { "--update" } else { "first run" };
+        println!(
+            "bench_gate: wrote baseline {} with {} benches ({reason})",
+            args.baseline,
+            current.len()
+        );
+        return Ok(true);
+    }
+
+    let baseline = gate::parse_baseline(&baseline_text.expect("checked above"))?;
+    let report = gate::compare(&baseline, &current, args.threshold_pct);
+    for (name, base, cur) in &report.regressions {
+        println!(
+            "REGRESSION {name}: {base} ns -> {cur} ns (+{:.1}% > {}%)",
+            (*cur as f64 / *base as f64 - 1.0) * 100.0,
+            args.threshold_pct
+        );
+    }
+    for name in &report.missing {
+        println!("missing from run (baseline refresh needed?): {name}");
+    }
+    for name in &report.untracked {
+        println!("untracked new bench (add via --update): {name}");
+    }
+    if report.passed() {
+        println!(
+            "bench_gate: {} benches within {}% of baseline",
+            baseline.len() - report.missing.len(),
+            args.threshold_pct
+        );
+    } else {
+        println!(
+            "bench_gate: {} regression(s); rerun with --update (commit marker [bench-update]) to accept",
+            report.regressions.len()
+        );
+    }
+    Ok(report.passed())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("bench_gate: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Benchmark-regression gate logic.
+//!
+//! The CI `bench` job runs the Criterion benches in quick mode with
+//! `MNS_BENCH_JSON` pointing at a JSONL file (one
+//! `{"name":...,"median_ns":...}` record per benchmark, appended by the
+//! vendored criterion harness), then invokes the `bench_gate` binary to
+//! compare those medians against the committed `BENCH_6.json` baseline
+//! at the repository root. Any tracked bench whose median regresses more
+//! than the threshold fails the gate; `--update` (or a missing baseline)
+//! rewrites the baseline instead, mirroring the golden-corpus drift gate
+//! and its `[golden-update]` commit marker.
+//!
+//! Everything here is dependency-free string work (no serde in the
+//! vendored set), kept as pure functions so the gate itself is unit- and
+//! differential-testable.
+
+use std::collections::BTreeMap;
+
+/// Median nanoseconds per benchmark label, ordered by label.
+pub type BenchTable = BTreeMap<String, u64>;
+
+/// Outcome of comparing a current run against the baseline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GateReport {
+    /// Benches whose median regressed beyond the threshold:
+    /// `(name, baseline_ns, current_ns)`.
+    pub regressions: Vec<(String, u64, u64)>,
+    /// Benches present in the baseline but absent from the run.
+    pub missing: Vec<String>,
+    /// Benches present in the run but not yet tracked in the baseline.
+    pub untracked: Vec<String>,
+}
+
+impl GateReport {
+    /// Whether the gate passes. Only regressions fail it: missing benches
+    /// mean the bench suite shrank (reported, and the refreshed baseline
+    /// is what `--update` commits), untracked ones that it grew.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Extracts the string value of `"key":"…"` from a JSON object line.
+fn json_str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\"");
+    let rest = &line[line.find(&tag)? + tag.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    // Labels never contain escaped quotes; escape_default only produces
+    // backslash sequences we do not need to reverse for comparison keys.
+    rest.split('"').next()
+}
+
+/// Extracts the non-negative integer value of `"key":123`.
+fn json_int_field(line: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\"");
+    let rest = &line[line.find(&tag)? + tag.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// Parses the JSONL emitted via `MNS_BENCH_JSON` (one record per line;
+/// blank lines ignored). Duplicate labels keep the **last** record, so a
+/// re-run appending to an existing file self-corrects.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line.
+pub fn parse_jsonl(text: &str) -> Result<BenchTable, String> {
+    let mut table = BenchTable::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let name = json_str_field(line, "name");
+        let median = json_int_field(line, "median_ns");
+        match (name, median) {
+            (Some(n), Some(m)) => {
+                table.insert(n.to_owned(), m);
+            }
+            _ => {
+                return Err(format!(
+                    "malformed bench record on line {}: {line}",
+                    idx + 1
+                ))
+            }
+        }
+    }
+    Ok(table)
+}
+
+/// Parses the committed baseline: a flat JSON object mapping bench label
+/// to median nanoseconds.
+///
+/// # Errors
+///
+/// Returns a message describing the first malformed entry.
+pub fn parse_baseline(text: &str) -> Result<BenchTable, String> {
+    let body = text.trim();
+    let body = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or_else(|| "baseline is not a JSON object".to_owned())?;
+    let mut table = BenchTable::new();
+    for entry in body.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let wrapped = format!("\"name\":{entry}");
+        let name = json_str_field(&wrapped, "name").map(str::to_owned);
+        let value = entry
+            .rsplit(':')
+            .next()
+            .map(str::trim)
+            .and_then(|v| v.parse::<u64>().ok());
+        match (name, value) {
+            (Some(n), Some(v)) => {
+                table.insert(n, v);
+            }
+            _ => return Err(format!("malformed baseline entry: {entry}")),
+        }
+    }
+    Ok(table)
+}
+
+/// Renders a baseline table as the committed `BENCH_6.json` format:
+/// a flat JSON object, one sorted entry per line.
+pub fn render_baseline(table: &BenchTable) -> String {
+    let mut out = String::from("{\n");
+    for (i, (name, ns)) in table.iter().enumerate() {
+        let sep = if i + 1 == table.len() { "" } else { "," };
+        out.push_str(&format!("  \"{}\": {ns}{sep}\n", name.escape_default()));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Compares `current` medians against `baseline`. A bench regresses when
+/// `current > baseline * (1 + threshold_pct/100)`; quick-mode medians are
+/// noisy, which the default 25 % threshold absorbs.
+pub fn compare(baseline: &BenchTable, current: &BenchTable, threshold_pct: u32) -> GateReport {
+    let mut report = GateReport::default();
+    for (name, &base_ns) in baseline {
+        match current.get(name) {
+            None => report.missing.push(name.clone()),
+            Some(&cur_ns) => {
+                // Integer math: cur * 100 > base * (100 + pct).
+                let limit = u128::from(base_ns) * (100 + u128::from(threshold_pct));
+                if u128::from(cur_ns) * 100 > limit {
+                    report.regressions.push((name.clone(), base_ns, cur_ns));
+                }
+            }
+        }
+    }
+    for name in current.keys() {
+        if !baseline.contains_key(name) {
+            report.untracked.push(name.clone());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(entries: &[(&str, u64)]) -> BenchTable {
+        entries.iter().map(|&(n, v)| (n.to_owned(), v)).collect()
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let text = "{\"name\":\"a/b/1\",\"median_ns\":123}\n\n{\"name\":\"c\",\"median_ns\":9}\n";
+        let parsed = parse_jsonl(text).unwrap();
+        assert_eq!(parsed, table(&[("a/b/1", 123), ("c", 9)]));
+    }
+
+    #[test]
+    fn jsonl_last_record_wins() {
+        let text = "{\"name\":\"a\",\"median_ns\":1}\n{\"name\":\"a\",\"median_ns\":2}\n";
+        assert_eq!(parse_jsonl(text).unwrap(), table(&[("a", 2)]));
+    }
+
+    #[test]
+    fn jsonl_rejects_malformed() {
+        assert!(parse_jsonl("{\"name\":\"a\"}\n").is_err());
+        assert!(parse_jsonl("not json\n").is_err());
+    }
+
+    #[test]
+    fn baseline_round_trip() {
+        let t = table(&[("dd_ablation/zdd_union_maximal/true", 26_314_000), ("x", 1)]);
+        let rendered = render_baseline(&t);
+        assert_eq!(parse_baseline(&rendered).unwrap(), t);
+        // Stable formatting: sorted, one entry per line.
+        assert!(rendered.starts_with("{\n  \"dd_ablation"));
+        assert!(rendered.ends_with("\"x\": 1\n}\n"));
+    }
+
+    #[test]
+    fn baseline_rejects_malformed() {
+        assert!(parse_baseline("[]").is_err());
+        assert!(parse_baseline("{\"a\": }").is_err());
+    }
+
+    #[test]
+    fn empty_baseline_parses() {
+        assert_eq!(parse_baseline("{}").unwrap(), BenchTable::new());
+        assert_eq!(
+            parse_baseline(&render_baseline(&BenchTable::new())).unwrap(),
+            BenchTable::new()
+        );
+    }
+
+    #[test]
+    fn compare_flags_only_threshold_breaches() {
+        let base = table(&[("a", 1000), ("b", 1000), ("gone", 5)]);
+        let cur = table(&[("a", 1250), ("b", 1251), ("new", 7)]);
+        let report = compare(&base, &cur, 25);
+        // a sits exactly at the limit — allowed; b is one past — flagged.
+        assert_eq!(report.regressions, vec![("b".to_owned(), 1000, 1251)]);
+        assert_eq!(report.missing, vec!["gone".to_owned()]);
+        assert_eq!(report.untracked, vec!["new".to_owned()]);
+        assert!(!report.passed());
+        assert!(compare(&base, &base, 0).passed());
+    }
+
+    #[test]
+    fn compare_handles_extreme_magnitudes_without_overflow() {
+        let base = table(&[("big", u64::MAX / 2)]);
+        let cur = table(&[("big", u64::MAX)]);
+        let report = compare(&base, &cur, 25);
+        assert_eq!(report.regressions.len(), 1);
+    }
+}

@@ -14,5 +14,6 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod gate;
 
 pub use experiments::run_all;

@@ -15,6 +15,8 @@
 //! router is useless if sensing noise destroys the downstream clustering,
 //! which is precisely the keynote's argument for co-design.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
@@ -150,6 +152,31 @@ impl From<CompileError> for PipelineError {
     }
 }
 
+/// Sense + interpret results for one `(biology, sensing, mining, seed)`
+/// fingerprint. These two stages are independent of the chip geometry,
+/// plex width and fault injection, so scenarios that differ only in those
+/// knobs (the common shape of a sweep) can share the expensive sensing
+/// and ZDD mining work.
+#[derive(Debug, Clone)]
+struct SenseInterpretation {
+    sensing_error: f64,
+    mining: MinedBiclusters,
+    interpretation: MatchScores,
+}
+
+thread_local! {
+    /// Per-thread memo of sense+interpret stages. Everything cached is a
+    /// pure deterministic function of the key, so a hit returns results
+    /// byte-identical to a recompute — outcomes can never depend on the
+    /// hit pattern (and therefore not on worker count or shard layout).
+    static SENSE_CACHE: RefCell<HashMap<String, SenseInterpretation>> =
+        RefCell::new(HashMap::new());
+}
+
+/// Bounded, deterministic eviction: wipe the memo when it reaches this
+/// many entries (sweeps rarely hold more distinct biology configs live).
+const SENSE_CACHE_CAP: usize = 64;
+
 /// The computer-aided-diagnosis pipeline.
 #[derive(Debug, Clone)]
 pub struct LabChipPipeline {
@@ -184,8 +211,53 @@ impl LabChipPipeline {
             self.compile_run(seed)?
         };
 
-        // 2. Biology + sensing: implant ground truth, push every sample
-        //    through the sensor array.
+        // 2 + 3. Biology, sensing and interpretation depend only on the
+        // fingerprint below — not on the chip, plex width or faults — so
+        // a repeat within the thread skips the sensing loop and all ZDD
+        // work. Both paths emit the same spans (hits record empty ones)
+        // to keep the telemetry span-tree shape independent of hits.
+        let key = format!(
+            "{:?}|{:?}|{:?}|{:?}|{:?}|{seed}",
+            cfg.dataset, cfg.sensor, cfg.kinetics, cfg.unit_concentration, cfg.miner
+        );
+        let cached = SENSE_CACHE.with(|c| c.borrow().get(&key).cloned());
+        let si = match cached {
+            Some(hit) => {
+                drop(mns_telemetry::span("labchip.sense"));
+                drop(mns_telemetry::span("labchip.interpret"));
+                mns_telemetry::counter_add("labchip.interpret_cache_hits", 1);
+                hit
+            }
+            None => {
+                let si = self.sense_and_interpret(seed);
+                SENSE_CACHE.with(|c| {
+                    let mut cache = c.borrow_mut();
+                    if cache.len() >= SENSE_CACHE_CAP {
+                        cache.clear();
+                    }
+                    cache.insert(key, si.clone());
+                });
+                si
+            }
+        };
+        mns_telemetry::counter_add("labchip.zdd_cache_hits", si.mining.zdd_cache_stats.1);
+        mns_telemetry::counter_add("labchip.zdd_peak_nodes", si.mining.zdd_peak_nodes as u64);
+
+        Ok(PipelineReport {
+            routing: compiled.stats,
+            faults: fault_report,
+            sensing_error: si.sensing_error,
+            mining: si.mining,
+            interpretation: si.interpretation,
+        })
+    }
+
+    /// The chip-independent pipeline stages: ground-truth generation,
+    /// sensing and ZDD interpretation.
+    fn sense_and_interpret(&self, seed: u64) -> SenseInterpretation {
+        let cfg = &self.config;
+        // Biology + sensing: implant ground truth, push every sample
+        // through the sensor array.
         let _sense_span = mns_telemetry::span("labchip.sense");
         let dataset: SyntheticDataset = generate(&cfg.dataset, seed);
         let truth_matrix = &dataset.matrix;
@@ -214,20 +286,17 @@ impl LabChipPipeline {
         let sensing_error = err_acc / (cfg.dataset.genes * cfg.dataset.samples) as f64;
         drop(_sense_span);
 
-        // 3. Interpretation: binarize measured data and mine exactly.
+        // Interpretation: binarize measured data and mine exactly.
         let _interpret_span = mns_telemetry::span("labchip.interpret");
         let threshold = cfg.dataset.background + cfg.dataset.boost / 2.0;
         let binary: BinaryMatrix = binarize_with_threshold(&measured, threshold);
         let mining = enumerate_maximal(&binary, &cfg.miner);
         let interpretation = score(&dataset.truth, &mining.biclusters);
-
-        Ok(PipelineReport {
-            routing: compiled.stats,
-            faults: fault_report,
+        SenseInterpretation {
             sensing_error,
             mining,
             interpretation,
-        })
+        }
     }
 
     /// Compiles the multiplexed run, degrading gracefully under faults.

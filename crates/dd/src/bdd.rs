@@ -1,18 +1,21 @@
 //! Reduced ordered binary decision diagrams.
+//!
+//! Like the ZDD flavour, the manager is a thin layer over [`DdArena`]:
+//! canonicity, the operation memo cache and garbage collection are the
+//! arena's job. Operation tags start at 16 to stay disjoint from the ZDD
+//! range in the shared computed cache.
 
 use std::collections::HashMap;
 
-use crate::node::{Arena, Ref, Var, TERMINAL_VAR};
+use crate::arena::{DdArena, DdStats};
+use crate::node::{Ref, Var, TERMINAL_VAR};
 
-/// Binary-operation tags for the computed cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum Op {
-    And,
-    Or,
-    Xor,
-    Not,
-    Ite,
-}
+// Computed-cache operation tags (BDD range; ZDD uses 1..=7).
+const OP_AND: u32 = 16;
+const OP_OR: u32 = 17;
+const OP_XOR: u32 = 18;
+const OP_NOT: u32 = 19;
+const OP_ITE: u32 = 20;
 
 /// A manager for reduced ordered BDDs over a fixed set of variables
 /// `0..num_vars` in natural order.
@@ -31,25 +34,32 @@ enum Op {
 /// ```
 #[derive(Debug)]
 pub struct BddManager {
-    arena: Arena,
-    cache: HashMap<(Op, Ref, Ref, Ref), Ref>,
-    cache_enabled: bool,
+    arena: DdArena,
     num_vars: Var,
-    cache_lookups: u64,
-    cache_hits: u64,
 }
 
 impl BddManager {
     /// Creates a manager for variables `0..num_vars`.
     pub fn new(num_vars: Var) -> Self {
         BddManager {
-            arena: Arena::new(),
-            cache: HashMap::new(),
-            cache_enabled: true,
+            arena: DdArena::new(),
             num_vars,
-            cache_lookups: 0,
-            cache_hits: 0,
         }
+    }
+
+    /// Creates a manager backed by a recycled arena from the per-thread
+    /// pool (same semantics as [`new`](BddManager::new), warmed
+    /// capacity). Pair with [`recycle`](BddManager::recycle).
+    pub fn recycled(num_vars: Var) -> Self {
+        BddManager {
+            arena: DdArena::recycled(),
+            num_vars,
+        }
+    }
+
+    /// Returns the backing arena to the per-thread recycling pool.
+    pub fn recycle(self) {
+        self.arena.recycle();
     }
 
     /// Number of variables this manager was created with.
@@ -58,17 +68,19 @@ impl BddManager {
     }
 
     /// Enables or disables the computed cache (ablation A1). Disabling also
-    /// clears it.
+    /// clears it, and disabled probes are not counted.
     pub fn set_cache_enabled(&mut self, enabled: bool) {
-        self.cache_enabled = enabled;
-        if !enabled {
-            self.cache.clear();
-        }
+        self.arena.set_cache_enabled(enabled);
     }
 
     /// `(lookups, hits)` counters for the computed cache.
     pub fn cache_stats(&self) -> (u64, u64) {
-        (self.cache_lookups, self.cache_hits)
+        self.arena.cache_stats()
+    }
+
+    /// Full counter snapshot of the backing arena.
+    pub fn stats(&self) -> DdStats {
+        self.arena.stats()
     }
 
     /// Live node count (including the two terminals).
@@ -79,6 +91,12 @@ impl BddManager {
     /// Peak live node count observed so far.
     pub fn peak_nodes(&self) -> usize {
         self.arena.peak_count()
+    }
+
+    /// Checks the unique-table invariants (canonicity, no stale buckets).
+    /// Intended for tests and differential suites.
+    pub fn check_unique_table(&self) -> Result<(), String> {
+        self.arena.check_unique_table()
     }
 
     /// The constant-true function.
@@ -135,72 +153,53 @@ impl BddManager {
         }
     }
 
-    fn cache_get(&mut self, key: (Op, Ref, Ref, Ref)) -> Option<Ref> {
-        if !self.cache_enabled {
-            return None;
-        }
-        self.cache_lookups += 1;
-        let hit = self.cache.get(&key).copied();
-        if hit.is_some() {
-            self.cache_hits += 1;
-        }
-        hit
-    }
-
-    fn cache_put(&mut self, key: (Op, Ref, Ref, Ref), value: Ref) {
-        if self.cache_enabled {
-            self.cache.insert(key, value);
-        }
-    }
-
     /// Clears the computed cache (handles stay valid).
     pub fn clear_cache(&mut self) {
-        self.cache.clear();
+        self.arena.clear_cache();
     }
 
     /// Conjunction `f ∧ g`.
     pub fn and(&mut self, f: Ref, g: Ref) -> Ref {
-        self.apply(Op::And, f, g)
+        self.apply(OP_AND, f, g)
     }
 
     /// Disjunction `f ∨ g`.
     pub fn or(&mut self, f: Ref, g: Ref) -> Ref {
-        self.apply(Op::Or, f, g)
+        self.apply(OP_OR, f, g)
     }
 
     /// Exclusive or `f ⊕ g`.
     pub fn xor(&mut self, f: Ref, g: Ref) -> Ref {
-        self.apply(Op::Xor, f, g)
+        self.apply(OP_XOR, f, g)
     }
 
     /// Shared binary-apply skeleton for the commutative operators:
     /// per-operator terminal short-circuits, then canonicalized caching,
     /// Shannon cofactoring and hash-consing.
-    fn apply(&mut self, op: Op, f: Ref, g: Ref) -> Ref {
+    fn apply(&mut self, op: u32, f: Ref, g: Ref) -> Ref {
         match op {
-            Op::And => match (f, g) {
+            OP_AND => match (f, g) {
                 (Ref::ZERO, _) | (_, Ref::ZERO) => return Ref::ZERO,
                 (Ref::ONE, x) | (x, Ref::ONE) => return x,
                 _ if f == g => return f,
                 _ => {}
             },
-            Op::Or => match (f, g) {
+            OP_OR => match (f, g) {
                 (Ref::ONE, _) | (_, Ref::ONE) => return Ref::ONE,
                 (Ref::ZERO, x) | (x, Ref::ZERO) => return x,
                 _ if f == g => return f,
                 _ => {}
             },
-            Op::Xor => match (f, g) {
+            OP_XOR => match (f, g) {
                 (Ref::ZERO, x) | (x, Ref::ZERO) => return x,
                 (Ref::ONE, x) | (x, Ref::ONE) => return self.not(x),
                 _ if f == g => return Ref::ZERO,
                 _ => {}
             },
-            Op::Not | Op::Ite => unreachable!("apply is for binary commutative ops"),
+            _ => unreachable!("apply is for binary commutative ops"),
         }
         let (a, b) = if f <= g { (f, g) } else { (g, f) };
-        let key = (op, a, b, Ref::ZERO);
-        if let Some(r) = self.cache_get(key) {
+        if let Some(r) = self.arena.cache_get(op, a, b, Ref::ZERO) {
             return r;
         }
         let v = self.level(a).min(self.level(b));
@@ -209,7 +208,7 @@ impl BddManager {
         let lo = self.apply(op, a0, b0);
         let hi = self.apply(op, a1, b1);
         let r = self.make(v, lo, hi);
-        self.cache_put(key, r);
+        self.arena.cache_put(op, a, b, Ref::ZERO, r);
         r
     }
 
@@ -220,15 +219,14 @@ impl BddManager {
             Ref::ONE => return Ref::ZERO,
             _ => {}
         }
-        let key = (Op::Not, f, Ref::ZERO, Ref::ZERO);
-        if let Some(r) = self.cache_get(key) {
+        if let Some(r) = self.arena.cache_get(OP_NOT, f, Ref::ZERO, Ref::ZERO) {
             return r;
         }
         let n = self.arena.node(f);
         let lo = self.not(n.lo);
         let hi = self.not(n.hi);
         let r = self.make(n.var, lo, hi);
-        self.cache_put(key, r);
+        self.arena.cache_put(OP_NOT, f, Ref::ZERO, Ref::ZERO, r);
         r
     }
 
@@ -257,8 +255,7 @@ impl BddManager {
         if g == Ref::ONE && h == Ref::ZERO {
             return f;
         }
-        let key = (Op::Ite, f, g, h);
-        if let Some(r) = self.cache_get(key) {
+        if let Some(r) = self.arena.cache_get(OP_ITE, f, g, h) {
             return r;
         }
         let v = self.level(f).min(self.level(g)).min(self.level(h));
@@ -268,7 +265,7 @@ impl BddManager {
         let lo = self.ite(f0, g0, h0);
         let hi = self.ite(f1, g1, h1);
         let r = self.make(v, lo, hi);
-        self.cache_put(key, r);
+        self.arena.cache_put(OP_ITE, f, g, h, r);
         r
     }
 
@@ -478,11 +475,14 @@ impl BddManager {
     /// Number of satisfying assignments over all `num_vars` variables,
     /// as `f64` (exact for counts below 2^53).
     pub fn sat_count(&self, f: Ref) -> f64 {
-        let mut memo: HashMap<Ref, f64> = HashMap::new();
-        self.sat_count_rec(f, 0, &mut memo) * 1.0
+        // Slot-indexed scratch memo (NaN = unvisited): the memoized value
+        // for a node is the count below its own level, so it is
+        // independent of the level it is reached from.
+        let mut memo = vec![f64::NAN; self.arena.slot_count()];
+        self.sat_count_rec(f, 0, &mut memo)
     }
 
-    fn sat_count_rec(&self, f: Ref, from_level: Var, memo: &mut HashMap<Ref, f64>) -> f64 {
+    fn sat_count_rec(&self, f: Ref, from_level: Var, memo: &mut [f64]) -> f64 {
         // Count assignments over variables from `from_level` to num_vars.
         let level = if f.is_terminal() {
             self.num_vars
@@ -494,14 +494,15 @@ impl BddManager {
             Ref::ZERO => 0.0,
             Ref::ONE => 1.0,
             _ => {
-                if let Some(&c) = memo.get(&f) {
-                    c
+                let i = f.0 as usize;
+                if !memo[i].is_nan() {
+                    memo[i]
                 } else {
                     let n = self.arena.node(f);
                     let lo = self.sat_count_rec(n.lo, n.var + 1, memo);
                     let hi = self.sat_count_rec(n.hi, n.var + 1, memo);
                     let c = lo + hi;
-                    memo.insert(f, c);
+                    memo[i] = c;
                     c
                 }
             }
@@ -723,7 +724,6 @@ impl BddManager {
     /// The computed cache is cleared. Returns the number of reclaimed
     /// nodes.
     pub fn gc(&mut self) -> usize {
-        self.cache.clear();
         self.arena.gc(&[])
     }
 }
@@ -944,6 +944,22 @@ mod tests {
     }
 
     #[test]
+    fn recycled_manager_behaves_like_fresh() {
+        let mut a = BddManager::recycled(3);
+        let x = a.var(0);
+        let y = a.var(1);
+        let f = a.and(x, y);
+        let count = a.sat_count(f);
+        a.recycle();
+        let mut b = BddManager::recycled(3);
+        assert_eq!(b.live_nodes(), 2, "recycled manager starts clean");
+        let x2 = b.var(0);
+        let y2 = b.var(1);
+        let f2 = b.and(x2, y2);
+        assert_eq!(b.sat_count(f2), count);
+    }
+
+    #[test]
     fn gc_preserves_protected_function() {
         let mut m = mgr(4);
         let a = m.var(0);
@@ -964,6 +980,7 @@ mod tests {
         assert!(m.eval(keep, &[true, true, false, false]));
         assert!(!m.eval(keep, &[true, false, false, false]));
         m.unprotect(keep);
+        m.check_unique_table().expect("canonical after gc");
     }
 
     #[test]

@@ -12,10 +12,17 @@
 //!   maximal biclusters ("bi-clustering … solved with ZDD technology",
 //!   keynote slide 25).
 //!
-//! Both managers share the same architecture: an index-based node arena with
-//! `u32` handles, a unique table guaranteeing canonicity, a lossy computed
-//! cache (can be disabled for the A1 ablation), and explicit mark-and-sweep
-//! garbage collection over a protection registry.
+//! Both managers are thin flavour layers over one [`arena::DdArena`]: an
+//! index-based node arena with `u32` handles, an open-addressed unique
+//! table guaranteeing canonicity (hash consing), a direct-mapped lossy
+//! computed cache for operation memoization (can be disabled for the A1
+//! ablation), explicit mark-and-sweep garbage collection over a
+//! protection registry, and a per-thread arena recycling pool
+//! ([`ZddManager::recycled`] / [`ZddManager::recycle`]) so repeated
+//! mining sessions reuse warmed capacity. All structures iterate in
+//! creation order, so identical operation sequences are byte-identical
+//! across processes. [`naive::NaiveFamily`] is the brute-force reference
+//! model the differential suites pin the memoized engine against.
 //!
 //! ## Handle validity
 //!
@@ -39,10 +46,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 mod bdd;
+pub mod naive;
 mod node;
 mod zdd;
 
+pub use arena::{DdArena, DdStats};
 pub use bdd::BddManager;
+pub use naive::NaiveFamily;
 pub use node::{Ref, Var};
 pub use zdd::ZddManager;

@@ -1,6 +1,8 @@
-//! Shared node-arena machinery for both diagram flavours.
+//! Node handle and storage types shared by both diagram flavours.
+//!
+//! The arena itself (unique table, computed cache, recycling pool) lives
+//! in [`crate::arena`]; this module only defines the plain data types.
 
-use std::collections::HashMap;
 use std::fmt;
 
 /// A variable index in the (fixed) global ordering. Smaller indices sit
@@ -52,184 +54,4 @@ pub(crate) struct Node {
     pub var: Var,
     pub lo: Ref,
     pub hi: Ref,
-}
-
-/// The arena: nodes, free list, unique table and protection registry.
-/// Shared verbatim by the BDD and ZDD managers — only the reduction rule
-/// (applied at `make_node` time by the callers) differs.
-#[derive(Debug)]
-pub(crate) struct Arena {
-    nodes: Vec<Node>,
-    free: Vec<u32>,
-    unique: HashMap<(Var, Ref, Ref), Ref>,
-    protected: HashMap<Ref, usize>,
-    peak_nodes: usize,
-}
-
-impl Arena {
-    pub fn new() -> Self {
-        // Slots 0 and 1 are reserved for the terminals; their contents are
-        // never read (var = TERMINAL_VAR guards every recursion).
-        let terminal = Node {
-            var: TERMINAL_VAR,
-            lo: Ref::ZERO,
-            hi: Ref::ZERO,
-        };
-        Arena {
-            nodes: vec![terminal, terminal],
-            free: Vec::new(),
-            unique: HashMap::new(),
-            protected: HashMap::new(),
-            peak_nodes: 2,
-        }
-    }
-
-    pub fn node(&self, r: Ref) -> Node {
-        self.nodes[r.0 as usize]
-    }
-
-    pub fn var(&self, r: Ref) -> Var {
-        self.nodes[r.0 as usize].var
-    }
-
-    /// Hash-conses a (var, lo, hi) triple. The caller must have applied the
-    /// flavour-specific reduction rule already.
-    pub fn intern(&mut self, var: Var, lo: Ref, hi: Ref) -> Ref {
-        if let Some(&r) = self.unique.get(&(var, lo, hi)) {
-            return r;
-        }
-        let node = Node { var, lo, hi };
-        let r = if let Some(slot) = self.free.pop() {
-            self.nodes[slot as usize] = node;
-            Ref(slot)
-        } else {
-            let idx = u32::try_from(self.nodes.len()).expect("node arena exceeds u32 indices");
-            self.nodes.push(node);
-            Ref(idx)
-        };
-        self.unique.insert((var, lo, hi), r);
-        self.peak_nodes = self.peak_nodes.max(self.live_count());
-        r
-    }
-
-    pub fn live_count(&self) -> usize {
-        self.nodes.len() - self.free.len()
-    }
-
-    pub fn peak_count(&self) -> usize {
-        self.peak_nodes
-    }
-
-    pub fn protect(&mut self, r: Ref) {
-        *self.protected.entry(r).or_insert(0) += 1;
-    }
-
-    pub fn unprotect(&mut self, r: Ref) {
-        match self.protected.get_mut(&r) {
-            Some(c) if *c > 1 => *c -= 1,
-            Some(_) => {
-                self.protected.remove(&r);
-            }
-            None => panic!("unprotect of a handle that was not protected: {r}"),
-        }
-    }
-
-    /// Mark-and-sweep over the protection registry plus `extra_roots`.
-    /// Returns the number of nodes reclaimed.
-    pub fn gc(&mut self, extra_roots: &[Ref]) -> usize {
-        let mut marked = vec![false; self.nodes.len()];
-        marked[0] = true;
-        marked[1] = true;
-        let mut stack: Vec<Ref> = self.protected.keys().copied().collect();
-        stack.extend_from_slice(extra_roots);
-        while let Some(r) = stack.pop() {
-            let i = r.0 as usize;
-            if marked[i] {
-                continue;
-            }
-            marked[i] = true;
-            let n = self.nodes[i];
-            if n.var != TERMINAL_VAR {
-                stack.push(n.lo);
-                stack.push(n.hi);
-            }
-        }
-        let already_free: std::collections::HashSet<u32> = self.free.iter().copied().collect();
-        let mut reclaimed = 0;
-        #[allow(clippy::needless_range_loop)]
-        for i in 2..self.nodes.len() {
-            let idx = i as u32;
-            if !marked[i] && !already_free.contains(&idx) {
-                self.free.push(idx);
-                reclaimed += 1;
-            }
-        }
-        // Rebuild the unique table over live nodes only.
-        self.unique.clear();
-        let free_set: std::collections::HashSet<u32> = self.free.iter().copied().collect();
-        for i in 2..self.nodes.len() {
-            if !free_set.contains(&(i as u32)) {
-                let n = self.nodes[i];
-                self.unique.insert((n.var, n.lo, n.hi), Ref(i as u32));
-            }
-        }
-        reclaimed
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn intern_is_canonical() {
-        let mut a = Arena::new();
-        let x = a.intern(0, Ref::ZERO, Ref::ONE);
-        let y = a.intern(0, Ref::ZERO, Ref::ONE);
-        assert_eq!(x, y);
-        assert_eq!(a.live_count(), 3);
-    }
-
-    #[test]
-    fn gc_reclaims_unprotected() {
-        let mut a = Arena::new();
-        let x = a.intern(0, Ref::ZERO, Ref::ONE);
-        let y = a.intern(1, Ref::ZERO, Ref::ONE);
-        a.protect(x);
-        let freed = a.gc(&[]);
-        assert_eq!(freed, 1);
-        // y's slot is reusable; x survives.
-        assert_eq!(a.intern(0, Ref::ZERO, Ref::ONE), x);
-        let z = a.intern(2, Ref::ZERO, Ref::ONE);
-        assert_eq!(z, y, "freed slot should be reused");
-    }
-
-    #[test]
-    fn protect_is_counted() {
-        let mut a = Arena::new();
-        let x = a.intern(0, Ref::ZERO, Ref::ONE);
-        a.protect(x);
-        a.protect(x);
-        a.unprotect(x);
-        assert_eq!(a.gc(&[]), 0, "still protected once");
-        a.unprotect(x);
-        assert_eq!(a.gc(&[]), 1);
-    }
-
-    #[test]
-    #[should_panic(expected = "not protected")]
-    fn unprotect_unknown_panics() {
-        let mut a = Arena::new();
-        a.unprotect(Ref(5));
-    }
-
-    #[test]
-    fn gc_keeps_descendants_of_roots() {
-        let mut a = Arena::new();
-        let x = a.intern(1, Ref::ZERO, Ref::ONE);
-        let f = a.intern(0, x, Ref::ONE);
-        let freed = a.gc(&[f]);
-        assert_eq!(freed, 0, "x is reachable from f");
-        let _ = x;
-    }
 }

@@ -4,21 +4,23 @@
 //! Minato's zero-suppression rule (a node whose `hi` edge is the empty
 //! family collapses to its `lo` child) makes ZDDs canonical and compact for
 //! families of *sparse* sets — exactly the shape of bicluster column sets.
+//!
+//! The manager is a thin flavour layer over [`DdArena`]: hash consing, the
+//! operation memo cache and garbage collection all live in the arena and
+//! are shared with [`crate::BddManager`]. Operation tags below keep the
+//! two flavours' memo entries disjoint in the shared cache.
 
-use std::collections::HashMap;
+use crate::arena::{DdArena, DdStats};
+use crate::node::{Ref, Var, TERMINAL_VAR};
 
-use crate::node::{Arena, Ref, Var, TERMINAL_VAR};
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum Op {
-    Union,
-    Intersect,
-    Diff,
-    Join,
-    NonSubsets,
-    NonSupersets,
-    Maximal,
-}
+// Computed-cache operation tags (ZDD range; BDD uses 16+).
+const OP_UNION: u32 = 1;
+const OP_INTERSECT: u32 = 2;
+const OP_DIFF: u32 = 3;
+const OP_JOIN: u32 = 4;
+const OP_NONSUBSETS: u32 = 5;
+const OP_NONSUPERSETS: u32 = 6;
+const OP_MAXIMAL: u32 = 7;
 
 /// A manager for ZDDs over element universe `0..num_vars`.
 ///
@@ -32,25 +34,33 @@ enum Op {
 /// ```
 #[derive(Debug)]
 pub struct ZddManager {
-    arena: Arena,
-    cache: HashMap<(Op, Ref, Ref), Ref>,
-    cache_enabled: bool,
+    arena: DdArena,
     num_vars: Var,
-    cache_lookups: u64,
-    cache_hits: u64,
 }
 
 impl ZddManager {
     /// Creates a manager for elements `0..num_vars`.
     pub fn new(num_vars: Var) -> Self {
         ZddManager {
-            arena: Arena::new(),
-            cache: HashMap::new(),
-            cache_enabled: true,
+            arena: DdArena::new(),
             num_vars,
-            cache_lookups: 0,
-            cache_hits: 0,
         }
+    }
+
+    /// Creates a manager backed by a recycled arena from the per-thread
+    /// pool: identical semantics to [`new`](ZddManager::new), but the
+    /// unique table and node storage start with warmed capacity. Pair
+    /// with [`recycle`](ZddManager::recycle) when the session ends.
+    pub fn recycled(num_vars: Var) -> Self {
+        ZddManager {
+            arena: DdArena::recycled(),
+            num_vars,
+        }
+    }
+
+    /// Returns the backing arena to the per-thread recycling pool.
+    pub fn recycle(self) {
+        self.arena.recycle();
     }
 
     /// Number of elements in the universe.
@@ -59,17 +69,20 @@ impl ZddManager {
     }
 
     /// Enables or disables the computed cache (ablation A1). Disabling also
-    /// clears it.
+    /// clears it, and disabled probes are not counted.
     pub fn set_cache_enabled(&mut self, enabled: bool) {
-        self.cache_enabled = enabled;
-        if !enabled {
-            self.cache.clear();
-        }
+        self.arena.set_cache_enabled(enabled);
     }
 
     /// `(lookups, hits)` counters for the computed cache.
     pub fn cache_stats(&self) -> (u64, u64) {
-        (self.cache_lookups, self.cache_hits)
+        self.arena.cache_stats()
+    }
+
+    /// Full counter snapshot of the backing arena (unique table and
+    /// computed cache).
+    pub fn stats(&self) -> DdStats {
+        self.arena.stats()
     }
 
     /// Live node count (including terminals).
@@ -80,6 +93,12 @@ impl ZddManager {
     /// Peak live node count observed so far.
     pub fn peak_nodes(&self) -> usize {
         self.arena.peak_count()
+    }
+
+    /// Checks the unique-table invariants (canonicity, no stale buckets).
+    /// Intended for tests and differential suites.
+    pub fn check_unique_table(&self) -> Result<(), String> {
+        self.arena.check_unique_table()
     }
 
     /// The empty family ∅ (no sets at all).
@@ -117,27 +136,9 @@ impl ZddManager {
         }
     }
 
-    fn cache_get(&mut self, key: (Op, Ref, Ref)) -> Option<Ref> {
-        if !self.cache_enabled {
-            return None;
-        }
-        self.cache_lookups += 1;
-        let hit = self.cache.get(&key).copied();
-        if hit.is_some() {
-            self.cache_hits += 1;
-        }
-        hit
-    }
-
-    fn cache_put(&mut self, key: (Op, Ref, Ref), value: Ref) {
-        if self.cache_enabled {
-            self.cache.insert(key, value);
-        }
-    }
-
     /// Clears the computed cache (handles stay valid).
     pub fn clear_cache(&mut self) {
-        self.cache.clear();
+        self.arena.clear_cache();
     }
 
     /// Builds the family containing exactly one set, given ascending
@@ -163,11 +164,31 @@ impl ZddManager {
     }
 
     /// Builds a family from several sets (each strictly ascending).
+    ///
+    /// Accumulates through a binary counter of partial unions, so `n`
+    /// sets cost `O(n log n)` union work instead of the `O(n²)` of a
+    /// linear fold — the canonical result is identical either way.
     pub fn from_sets(&mut self, sets: &[&[Var]]) -> Ref {
-        let mut acc = Ref::ZERO;
+        let mut levels: Vec<Ref> = Vec::new();
         for set in sets {
-            let s = self.from_set(set);
-            acc = self.union(acc, s);
+            let mut carry = self.from_set(set);
+            let mut idx = 0;
+            loop {
+                if idx == levels.len() {
+                    levels.push(Ref::ZERO);
+                }
+                if levels[idx] == Ref::ZERO {
+                    levels[idx] = carry;
+                    break;
+                }
+                carry = self.union(levels[idx], carry);
+                levels[idx] = Ref::ZERO;
+                idx += 1;
+            }
+        }
+        let mut acc = Ref::ZERO;
+        for &level in &levels {
+            acc = self.union(acc, level);
         }
         acc
     }
@@ -181,8 +202,7 @@ impl ZddManager {
             return f;
         }
         let (a, b) = if f <= g { (f, g) } else { (g, f) };
-        let key = (Op::Union, a, b);
-        if let Some(r) = self.cache_get(key) {
+        if let Some(r) = self.arena.cache_get(OP_UNION, a, b, Ref::ZERO) {
             return r;
         }
         let (va, vb) = (self.level(a), self.level(b));
@@ -199,7 +219,7 @@ impl ZddManager {
             let lo = self.union(n.lo, other);
             self.make(v, lo, n.hi)
         };
-        self.cache_put(key, r);
+        self.arena.cache_put(OP_UNION, a, b, Ref::ZERO, r);
         r
     }
 
@@ -212,8 +232,7 @@ impl ZddManager {
             return f;
         }
         let (a, b) = if f <= g { (f, g) } else { (g, f) };
-        let key = (Op::Intersect, a, b);
-        if let Some(r) = self.cache_get(key) {
+        if let Some(r) = self.arena.cache_get(OP_INTERSECT, a, b, Ref::ZERO) {
             return r;
         }
         let (va, vb) = (self.level(a), self.level(b));
@@ -228,7 +247,7 @@ impl ZddManager {
             let n = self.arena.node(top);
             self.intersect(n.lo, other)
         };
-        self.cache_put(key, r);
+        self.arena.cache_put(OP_INTERSECT, a, b, Ref::ZERO, r);
         r
     }
 
@@ -240,8 +259,7 @@ impl ZddManager {
         if g == Ref::ZERO {
             return f;
         }
-        let key = (Op::Diff, f, g);
-        if let Some(r) = self.cache_get(key) {
+        if let Some(r) = self.arena.cache_get(OP_DIFF, f, g, Ref::ZERO) {
             return r;
         }
         let (vf, vg) = (self.level(f), self.level(g));
@@ -258,7 +276,7 @@ impl ZddManager {
             let n = self.arena.node(g);
             self.diff(f, n.lo)
         };
-        self.cache_put(key, r);
+        self.arena.cache_put(OP_DIFF, f, g, Ref::ZERO, r);
         r
     }
 
@@ -274,8 +292,7 @@ impl ZddManager {
             return f;
         }
         let (a, b) = if f <= g { (f, g) } else { (g, f) };
-        let key = (Op::Join, a, b);
-        if let Some(r) = self.cache_get(key) {
+        if let Some(r) = self.arena.cache_get(OP_JOIN, a, b, Ref::ZERO) {
             return r;
         }
         let (va, vb) = (self.level(a), self.level(b));
@@ -296,7 +313,7 @@ impl ZddManager {
             let hi = self.join(n.hi, other);
             self.make(v, lo, hi)
         };
-        self.cache_put(key, r);
+        self.arena.cache_put(OP_JOIN, a, b, Ref::ZERO, r);
         r
     }
 
@@ -317,8 +334,7 @@ impl ZddManager {
             // ∅ ⊆ T for any T; g is non-empty here.
             return Ref::ZERO;
         }
-        let key = (Op::NonSubsets, f, g);
-        if let Some(r) = self.cache_get(key) {
+        if let Some(r) = self.arena.cache_get(OP_NONSUBSETS, f, g, Ref::ZERO) {
             return r;
         }
         let (vf, vg) = (self.level(f), self.level(g));
@@ -340,7 +356,7 @@ impl ZddManager {
             let g_any = self.union(ng.lo, ng.hi);
             self.nonsubsets(f, g_any)
         };
-        self.cache_put(key, r);
+        self.arena.cache_put(OP_NONSUBSETS, f, g, Ref::ZERO, r);
         r
     }
 
@@ -361,8 +377,7 @@ impl ZddManager {
             // Only T = ∅ is a subset of ∅, and ∅ ∉ g here.
             return f;
         }
-        let key = (Op::NonSupersets, f, g);
-        if let Some(r) = self.cache_get(key) {
+        if let Some(r) = self.arena.cache_get(OP_NONSUPERSETS, f, g, Ref::ZERO) {
             return r;
         }
         let (vf, vg) = (self.level(f), self.level(g));
@@ -383,7 +398,7 @@ impl ZddManager {
             let ng = self.arena.node(g);
             self.nonsupersets(f, ng.lo)
         };
-        self.cache_put(key, r);
+        self.arena.cache_put(OP_NONSUPERSETS, f, g, Ref::ZERO, r);
         r
     }
 
@@ -393,8 +408,7 @@ impl ZddManager {
         if f.is_terminal() {
             return f;
         }
-        let key = (Op::Maximal, f, Ref::ZERO);
-        if let Some(r) = self.cache_get(key) {
+        if let Some(r) = self.arena.cache_get(OP_MAXIMAL, f, Ref::ZERO, Ref::ZERO) {
             return r;
         }
         let n = self.arena.node(f);
@@ -404,7 +418,7 @@ impl ZddManager {
         // has v added (S ⊆ T∪{v} ∧ v ∉ S ⟺ S ⊆ T).
         let lo = self.nonsubsets(lo_max, hi);
         let r = self.make(n.var, lo, hi);
-        self.cache_put(key, r);
+        self.arena.cache_put(OP_MAXIMAL, f, Ref::ZERO, Ref::ZERO, r);
         r
     }
 
@@ -443,21 +457,24 @@ impl ZddManager {
 
     /// Number of sets in the family (exact below 2^53).
     pub fn count(&self, f: Ref) -> f64 {
-        let mut memo = HashMap::new();
+        // Slot-indexed scratch memo (NaN = unvisited): indexing beats
+        // hashing on the count-heavy mining path.
+        let mut memo = vec![f64::NAN; self.arena.slot_count()];
         self.count_rec(f, &mut memo)
     }
 
-    fn count_rec(&self, f: Ref, memo: &mut HashMap<Ref, f64>) -> f64 {
+    fn count_rec(&self, f: Ref, memo: &mut [f64]) -> f64 {
         match f {
             Ref::ZERO => 0.0,
             Ref::ONE => 1.0,
             _ => {
-                if let Some(&c) = memo.get(&f) {
-                    return c;
+                let i = f.0 as usize;
+                if !memo[i].is_nan() {
+                    return memo[i];
                 }
                 let n = self.arena.node(f);
                 let c = self.count_rec(n.lo, memo) + self.count_rec(n.hi, memo);
-                memo.insert(f, c);
+                memo[i] = c;
                 c
             }
         }
@@ -557,7 +574,6 @@ impl ZddManager {
     /// Mark-and-sweep garbage collection; clears the computed cache.
     /// Returns the number of reclaimed nodes.
     pub fn gc(&mut self) -> usize {
-        self.cache.clear();
         self.arena.gc(&[])
     }
 }
@@ -732,6 +748,7 @@ mod tests {
             assert_eq!(to_family(&m, ns), nsub_expect, "nonsubsets");
             assert_eq!(to_family(&m, np), nsup_expect, "nonsupersets");
             assert_eq!(to_family(&m, mx), max_expect, "maximal");
+            m.check_unique_table().expect("canonical after random ops");
         }
     }
 
@@ -752,6 +769,49 @@ mod tests {
     }
 
     #[test]
+    fn from_sets_binary_counter_matches_linear_fold() {
+        let mut m = ZddManager::new(8);
+        let sets: Vec<Vec<Var>> = (0..23u32)
+            .map(|i| {
+                let mut v = vec![i % 8, (i * 5 + 2) % 8, (i * 3 + 1) % 8];
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+            .collect();
+        let refs: Vec<&[Var]> = sets.iter().map(|v| v.as_slice()).collect();
+        let fast = m.from_sets(&refs);
+        let mut slow = m.empty();
+        for set in &refs {
+            let s = m.from_set(set);
+            slow = m.union(slow, s);
+        }
+        assert_eq!(fast, slow, "canonical result independent of fold shape");
+    }
+
+    #[test]
+    fn cache_disabled_records_no_lookups() {
+        let mut m = ZddManager::new(6);
+        m.set_cache_enabled(false);
+        let f = m.from_sets(&[&[0, 1], &[2, 3], &[1, 4]]);
+        let _ = m.maximal(f);
+        assert_eq!(m.cache_stats(), (0, 0));
+    }
+
+    #[test]
+    fn recycled_manager_behaves_like_fresh() {
+        let mut a = ZddManager::recycled(4);
+        let fa = a.from_sets(&[&[0, 1], &[2]]);
+        let sets_a = a.sets(fa);
+        a.recycle();
+        let mut b = ZddManager::recycled(4);
+        assert_eq!(b.live_nodes(), 2, "recycled manager starts clean");
+        assert_eq!(b.cache_stats(), (0, 0));
+        let fb = b.from_sets(&[&[0, 1], &[2]]);
+        assert_eq!(b.sets(fb), sets_a);
+    }
+
+    #[test]
     fn gc_with_protection() {
         let mut m = ZddManager::new(4);
         let keep = m.from_sets(&[&[0, 1], &[2]]);
@@ -764,6 +824,7 @@ mod tests {
         assert!(m.contains(keep, &[0, 1]));
         assert!(m.contains(keep, &[2]));
         m.unprotect(keep);
+        m.check_unique_table().expect("canonical after gc");
     }
 
     #[test]

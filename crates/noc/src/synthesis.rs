@@ -6,6 +6,11 @@
 //! shortcut links for the heaviest long-distance flows. The greedy
 //! cluster-merge strategy is the ablation-A3 baseline.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use mns_dd::{Ref, Var, ZddManager};
+
 use crate::graph::CommGraph;
 use crate::topology::{Link, LinkClass, Topology};
 
@@ -40,6 +45,74 @@ impl Default for SynthesisConfig {
             strategy: Strategy::MinCut,
         }
     }
+}
+
+/// Thread-local memo over [`bipartition`] results. Sweeps re-synthesize
+/// the same communication graph under many router/buffer configurations,
+/// and the partition tree depends only on the rate matrix — so every
+/// sweep point after the first resolves its whole tree from the memo.
+/// Core subsets are interned through a [`ZddManager`], whose hash-consed
+/// unique table gives each subset a canonical [`Ref`] to key on (the same
+/// arena discipline the interpret path uses); the rate matrix itself is
+/// folded to a fingerprint.
+struct PartitionCache {
+    zdd: ZddManager,
+    memo: HashMap<(u64, Ref), (Vec<usize>, Vec<usize>)>,
+}
+
+thread_local! {
+    static PARTITION_CACHE: RefCell<PartitionCache> = RefCell::new(PartitionCache {
+        zdd: ZddManager::new(0),
+        memo: HashMap::new(),
+    });
+}
+
+/// Entry cap; the memo is cleared wholesale when it fills.
+const PARTITION_CACHE_CAP: usize = 1024;
+
+/// FNV-1a over the rate matrix bit patterns: the partition key's graph
+/// component.
+fn rate_fingerprint(rates: &[Vec<f64>]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for row in rates {
+        for &r in row {
+            h ^= r.to_bits();
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// [`bipartition`] through the thread-local memo. `fingerprint` must be
+/// `rate_fingerprint(rates)`; the cached split for a (graph, core-subset)
+/// pair is byte-identical to a fresh computation, so memoization cannot
+/// perturb synthesized topologies.
+fn bipartition_cached(
+    fingerprint: u64,
+    rates: &[Vec<f64>],
+    cores: &[usize],
+) -> (Vec<usize>, Vec<usize>) {
+    PARTITION_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        // Re-intern on variable-capacity overflow or memo overflow: old
+        // Refs die with the manager, so the memo is cleared with it.
+        let needed = cores.iter().map(|&c| c as Var + 1).max().unwrap_or(0);
+        if needed > cache.zdd.num_vars() || cache.memo.len() >= PARTITION_CACHE_CAP {
+            let capacity = needed.max(cache.zdd.num_vars()).next_power_of_two().max(64);
+            cache.zdd = ZddManager::new(capacity);
+            cache.memo.clear();
+        }
+        let vars: Vec<Var> = cores.iter().map(|&c| c as Var).collect();
+        let subset = cache.zdd.from_set(&vars);
+        mns_telemetry::counter_add("noc.partition_lookups", 1);
+        if let Some(hit) = cache.memo.get(&(fingerprint, subset)) {
+            mns_telemetry::counter_add("noc.partition_hits", 1);
+            return hit.clone();
+        }
+        let split = bipartition(rates, cores);
+        cache.memo.insert((fingerprint, subset), split.clone());
+        split
+    })
 }
 
 /// Dense symmetric pair-rate matrix over the whole core set, computed
@@ -148,6 +221,7 @@ fn bipartition(rates: &[Vec<f64>], cores: &[usize]) -> (Vec<usize>, Vec<usize>) 
 
 struct TreeBuilder<'a> {
     rates: &'a [Vec<f64>],
+    fingerprint: u64,
     config: &'a SynthesisConfig,
     links: Vec<Link>,
     attachment: Vec<usize>,
@@ -165,7 +239,7 @@ impl TreeBuilder<'_> {
             }
             return router;
         }
-        let (left, right) = bipartition(self.rates, cores);
+        let (left, right) = bipartition_cached(self.fingerprint, self.rates, cores);
         let l = self.build(&left);
         let r = self.build(&right);
         self.links.push(Link {
@@ -248,6 +322,7 @@ pub fn synthesize(app: &CommGraph, config: &SynthesisConfig) -> Topology {
     let rates = rate_matrix(app);
     let mut builder = TreeBuilder {
         rates: &rates,
+        fingerprint: rate_fingerprint(&rates),
         config,
         links: Vec::new(),
         attachment: vec![0; app.cores()],
@@ -435,6 +510,39 @@ mod tests {
             degree[r] += 1;
         }
         assert!(degree.iter().all(|&d| d <= cfg.max_degree));
+    }
+
+    #[test]
+    fn partition_memo_is_transparent() {
+        // Repeated synthesis of the same graph must go through the memo
+        // without perturbing the topology.
+        let app = CommGraph::hotspot(24, 1.0);
+        let cfg = SynthesisConfig::default();
+        let first = synthesize(&app, &cfg);
+        for _ in 0..3 {
+            let again = synthesize(&app, &cfg);
+            assert_eq!(again.links(), first.links());
+            assert_eq!(again.attachment(), first.attachment());
+        }
+        // A different graph keys differently and must not collide.
+        let other = synthesize(&CommGraph::pipeline(24, 1.0), &cfg);
+        assert!(
+            other.links() != first.links() || other.attachment() != first.attachment(),
+            "distinct graphs should synthesize distinct topologies"
+        );
+    }
+
+    #[test]
+    fn partition_memo_survives_capacity_growth() {
+        let cfg = SynthesisConfig::default();
+        let small = synthesize(&CommGraph::hotspot(8, 1.0), &cfg);
+        // Larger graph forces the thread-local manager to re-intern.
+        let large = synthesize(&CommGraph::hotspot(200, 1.0), &cfg);
+        assert!(large.is_connected());
+        // The small graph still resolves correctly afterwards.
+        let small_again = synthesize(&CommGraph::hotspot(8, 1.0), &cfg);
+        assert_eq!(small_again.links(), small.links());
+        assert_eq!(small_again.attachment(), small.attachment());
     }
 
     #[test]

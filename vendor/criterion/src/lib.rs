@@ -7,11 +7,70 @@
 //! `criterion_main!` macros. Timing is a simple
 //! warm-up-then-median-of-samples loop; there is no statistical
 //! analysis, plotting, or baseline persistence.
+//!
+//! Two environment variables extend the vendored subset for the CI
+//! benchmark-regression gate:
+//!
+//! * `MNS_BENCH_QUICK=1` — clamp warm-up to 50 ms, measurement to
+//!   200 ms and sample count to 5, overriding per-group settings, so a
+//!   full bench sweep finishes in CI time.
+//! * `MNS_BENCH_JSON=<path>` — append one JSON line
+//!   `{"name":"<label>","median_ns":<n>}` per benchmark to `<path>` for
+//!   machine consumption (the `bench_gate` binary).
 
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write;
 use std::time::{Duration, Instant};
+
+/// Whether `MNS_BENCH_QUICK` requests clamped CI-speed measurement.
+fn quick_mode() -> bool {
+    std::env::var("MNS_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Applies the quick-mode clamps to the effective settings.
+fn effective(
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+) -> (usize, Duration, Duration) {
+    if quick_mode() {
+        (
+            sample_size.min(5),
+            warm_up.min(Duration::from_millis(50)),
+            measurement.min(Duration::from_millis(200)),
+        )
+    } else {
+        (sample_size, warm_up, measurement)
+    }
+}
+
+/// Appends the record for one finished benchmark to `MNS_BENCH_JSON`,
+/// when set. Failures are reported but non-fatal: a broken JSON sink
+/// must not fail the benchmarks themselves.
+fn emit_json(label: &str, median: Duration) {
+    let Ok(path) = std::env::var("MNS_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let line = format!(
+        "{{\"name\":\"{}\",\"median_ns\":{}}}\n",
+        label.escape_default(),
+        median.as_nanos()
+    );
+    let written = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("warning: could not append to MNS_BENCH_JSON={path}: {e}");
+    }
+}
 
 /// Re-export of [`std::hint::black_box`] under criterion's name.
 pub fn black_box<T>(x: T) -> T {
@@ -201,6 +260,7 @@ fn run_benchmark(
     measurement: Duration,
     f: &mut dyn FnMut(&mut Bencher),
 ) {
+    let (sample_size, warm_up, measurement) = effective(sample_size, warm_up, measurement);
     let mut bencher = Bencher {
         samples: Vec::new(),
         deadline: Some(Instant::now() + measurement),
@@ -220,6 +280,7 @@ fn run_benchmark(
         "bench {label:<48} median {median:>12?} (min {min:?}, max {max:?}, n={})",
         bencher.samples.len()
     );
+    emit_json(label, median);
 }
 
 /// Declares a group of benchmark functions.
