@@ -12,8 +12,8 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mns_core::runner::{
-    FluidicsScenario, GrnModel, HarvestScenario, KnockoutScenario, NocScenario, RunnerConfig,
-    Scenario, ScenarioOutcome, WsnScenario,
+    AssayKind, FluidicsScenario, GrnModel, HarvestScenario, KnockoutScenario, NocScenario,
+    RunnerConfig, Scenario, ScenarioOutcome, WsnScenario,
 };
 use mns_noc::graph::CommGraph;
 use mns_wsn::harvest::DutyPolicy;
@@ -23,6 +23,7 @@ fn mixed_batch() -> Vec<Scenario> {
     let app = CommGraph::hotspot(12, 1.0);
     vec![
         Scenario::FluidicsCompile(FluidicsScenario {
+            assay: AssayKind::Multiplex,
             plex: 2,
             grid_side: 16,
             dead_fraction: 0.0,

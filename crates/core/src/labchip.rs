@@ -27,7 +27,7 @@ use mns_biosensor::array::{SensorArray, SensorConfig};
 use mns_biosensor::expression::{generate, SyntheticDataset, SyntheticDatasetConfig};
 use mns_biosensor::kinetics::BindingKinetics;
 use mns_biosensor::Matrix;
-use mns_fluidics::assay::multiplex_immunoassay;
+use mns_fluidics::assay::AssayKind;
 use mns_fluidics::compiler::{
     compile_with_faults, CompileError, CompileStats, CompiledAssay, CompilerConfig,
 };
@@ -50,6 +50,9 @@ pub struct PipelineConfig {
     pub unit_concentration: f64,
     /// Miner thresholds.
     pub miner: MinerConfig,
+    /// Assay family compiled onto the chip each run (the plex-retry loop
+    /// re-instantiates it at each reduced scale).
+    pub assay: AssayKind,
     /// Number of samples transported per chip run (sets the assay width
     /// used for the compile stats).
     pub samples_per_run: usize,
@@ -79,6 +82,7 @@ impl Default for PipelineConfig {
                 min_cols: 3,
                 ..MinerConfig::default()
             },
+            assay: AssayKind::Multiplex,
             samples_per_run: 4,
             fault: None,
         }
@@ -334,7 +338,7 @@ impl LabChipPipeline {
         };
         let mut plex = cfg.samples_per_run.max(1);
         loop {
-            let assay = multiplex_immunoassay(plex);
+            let assay = cfg.assay.instantiate(plex);
             match compile_with_faults(&assay, &cfg.chip, &model) {
                 Ok(compiled) => {
                     report.reroutes = compiled.stats.reroutes;

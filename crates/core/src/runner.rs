@@ -48,7 +48,6 @@ use std::fmt;
 use std::sync::Mutex;
 use std::thread;
 
-use mns_fluidics::assay::multiplex_immunoassay;
 use mns_fluidics::compiler::{compile_with_faults, CompilerConfig};
 use mns_fluidics::faults::{FaultConfig, FaultModel};
 use mns_fluidics::geometry::Grid;
@@ -64,6 +63,8 @@ use mns_wsn::protocol::Protocol;
 use mns_wsn::sim::{simulate_lifetime, LifetimeConfig};
 
 use crate::labchip::{LabChipPipeline, PipelineConfig};
+
+pub use mns_fluidics::assay::AssayKind;
 
 pub mod manifest;
 pub mod sharded;
@@ -131,11 +132,32 @@ impl Canon {
     }
 }
 
-/// A microfluidic compile scenario: multiplexed immunoassay onto a square
-/// array, optionally around a deterministic dead-electrode fault map.
+/// Canonical encoding of an [`AssayKind`] into a fingerprint: one tag
+/// byte per variant, then any shape knobs.
+fn canon_assay(c: &mut Canon, kind: AssayKind) {
+    match kind {
+        AssayKind::Multiplex => c.byte(0),
+        AssayKind::SerialDilution => c.byte(1),
+        AssayKind::Washing { wash_steps } => {
+            c.byte(2);
+            c.usize(wash_steps);
+        }
+        AssayKind::MixingTree { fanin } => {
+            c.byte(3);
+            c.usize(fanin);
+        }
+        AssayKind::DilutionGradient => c.byte(4),
+    }
+}
+
+/// A microfluidic compile scenario: one synthetic assay family
+/// ([`AssayKind`]) compiled onto a square array, optionally around a
+/// deterministic dead-electrode fault map.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FluidicsScenario {
-    /// Samples multiplexed into one run.
+    /// Assay family to compile (defaults to the multiplex immunoassay).
+    pub assay: AssayKind,
+    /// Assay scale: samples/steps/depth/rows, per [`AssayKind`] docs.
     pub plex: usize,
     /// Square array side (electrodes).
     pub grid_side: i32,
@@ -148,6 +170,8 @@ pub struct FluidicsScenario {
 /// A full lab-on-chip pipeline run (compile → sense → interpret).
 #[derive(Debug, Clone, PartialEq)]
 pub struct LabChipScenario {
+    /// Assay family the pipeline compiles at each plex level.
+    pub assay: AssayKind,
     /// Run seed (biology, sensing noise, fault-map mixing).
     pub seed: u64,
     /// Samples transported per chip run.
@@ -258,6 +282,7 @@ impl Scenario {
         match self {
             Scenario::FluidicsCompile(s) => {
                 c.byte(1);
+                canon_assay(&mut c, s.assay);
                 c.usize(s.plex);
                 c.i64(i64::from(s.grid_side));
                 c.f64(s.dead_fraction);
@@ -265,6 +290,7 @@ impl Scenario {
             }
             Scenario::LabChip(s) => {
                 c.byte(2);
+                canon_assay(&mut c, s.assay);
                 c.u64(s.seed);
                 c.usize(s.samples_per_run);
                 c.f64(s.dead_fraction);
@@ -358,19 +384,31 @@ impl Scenario {
     pub fn label(&self) -> String {
         match self {
             Scenario::FluidicsCompile(s) => format!(
-                "fluidics/plex{}-g{}-dead{}pm-s{}",
-                s.plex,
+                "fluidics/{}-g{}-dead{}pm-s{}",
+                s.assay.describe(s.plex),
                 s.grid_side,
                 (s.dead_fraction * 1000.0).round() as u64,
                 s.fault_seed
             ),
-            Scenario::LabChip(s) => format!(
-                "labchip/seed{}-n{}-dead{}pm-f{}",
-                s.seed,
-                s.samples_per_run,
-                (s.dead_fraction * 1000.0).round() as u64,
-                s.fault_seed
-            ),
+            Scenario::LabChip(s) => {
+                // The original multiplex corpus labels predate the assay
+                // axis and must stay byte-identical; other kinds prefix.
+                let kind = match s.assay {
+                    AssayKind::Multiplex => String::new(),
+                    AssayKind::SerialDilution => "dilution-".to_owned(),
+                    AssayKind::Washing { wash_steps } => format!("wash{wash_steps}-"),
+                    AssayKind::MixingTree { fanin } => format!("mixtree{fanin}-"),
+                    AssayKind::DilutionGradient => "gradient-".to_owned(),
+                };
+                format!(
+                    "labchip/{}seed{}-n{}-dead{}pm-f{}",
+                    kind,
+                    s.seed,
+                    s.samples_per_run,
+                    (s.dead_fraction * 1000.0).round() as u64,
+                    s.fault_seed
+                )
+            }
             Scenario::NocPoint(s) => format!(
                 "noc/c{}-e{}-k{}-x{}",
                 s.app.cores(),
@@ -427,7 +465,7 @@ impl Scenario {
                 } else {
                     FaultModel::none()
                 };
-                match compile_with_faults(&multiplex_immunoassay(s.plex), &cfg, &model) {
+                match compile_with_faults(&s.assay.instantiate(s.plex), &cfg, &model) {
                     Ok(c) => ScenarioOutcome::Fluidics {
                         compiled: true,
                         makespan: c.stats.makespan,
@@ -450,6 +488,7 @@ impl Scenario {
             }
             Scenario::LabChip(s) => {
                 let cfg = PipelineConfig {
+                    assay: s.assay,
                     samples_per_run: s.samples_per_run,
                     fault: (s.dead_fraction > 0.0).then(|| FaultConfig {
                         seed: s.fault_seed,
@@ -1547,41 +1586,176 @@ pub fn conformance_corpus(seed: u64) -> Vec<Scenario> {
     let mut corpus = vec![
         // Fluidics: clean compiles at two plex counts, then fault recovery.
         Scenario::FluidicsCompile(FluidicsScenario {
+            assay: AssayKind::Multiplex,
             plex: 2,
             grid_side: 16,
             dead_fraction: 0.0,
             fault_seed: 0,
         }),
         Scenario::FluidicsCompile(FluidicsScenario {
+            assay: AssayKind::Multiplex,
             plex: 4,
             grid_side: 16,
             dead_fraction: 0.0,
             fault_seed: 0,
         }),
         Scenario::FluidicsCompile(FluidicsScenario {
+            assay: AssayKind::Multiplex,
             plex: 4,
             grid_side: 16,
             dead_fraction: 0.04,
             fault_seed: seed,
         }),
         Scenario::FluidicsCompile(FluidicsScenario {
+            assay: AssayKind::Multiplex,
             plex: 3,
             grid_side: 16,
             dead_fraction: 0.08,
             fault_seed: seed ^ 1,
         }),
+        // Fluidics: serial-dilution ladders, clean and damaged. Ladder
+        // depth is the compiler's worst cost axis (routing work grows
+        // steeply with the serialized makespan), so the corpus stays at
+        // plex <= 3 — deeper ladders belong in examples/assay_families.
+        Scenario::FluidicsCompile(FluidicsScenario {
+            assay: AssayKind::SerialDilution,
+            plex: 2,
+            grid_side: 16,
+            dead_fraction: 0.0,
+            fault_seed: 0,
+        }),
+        Scenario::FluidicsCompile(FluidicsScenario {
+            assay: AssayKind::SerialDilution,
+            plex: 3,
+            grid_side: 16,
+            dead_fraction: 0.0,
+            fault_seed: 0,
+        }),
+        Scenario::FluidicsCompile(FluidicsScenario {
+            assay: AssayKind::SerialDilution,
+            plex: 2,
+            grid_side: 16,
+            dead_fraction: 0.04,
+            fault_seed: seed,
+        }),
+        // Fluidics: washing protocols (electrode reuse under re-reads),
+        // one wide/shallow, one narrow/deep, one damaged.
+        Scenario::FluidicsCompile(FluidicsScenario {
+            assay: AssayKind::Washing { wash_steps: 1 },
+            plex: 2,
+            grid_side: 16,
+            dead_fraction: 0.0,
+            fault_seed: 0,
+        }),
+        Scenario::FluidicsCompile(FluidicsScenario {
+            assay: AssayKind::Washing { wash_steps: 2 },
+            plex: 1,
+            grid_side: 16,
+            dead_fraction: 0.0,
+            fault_seed: 0,
+        }),
+        Scenario::FluidicsCompile(FluidicsScenario {
+            assay: AssayKind::Washing { wash_steps: 1 },
+            plex: 2,
+            grid_side: 16,
+            dead_fraction: 0.04,
+            fault_seed: seed ^ 2,
+        }),
+        // Fluidics: multi-reagent mixing trees (wide reductions).
+        Scenario::FluidicsCompile(FluidicsScenario {
+            assay: AssayKind::MixingTree { fanin: 2 },
+            plex: 2,
+            grid_side: 16,
+            dead_fraction: 0.0,
+            fault_seed: 0,
+        }),
+        Scenario::FluidicsCompile(FluidicsScenario {
+            assay: AssayKind::MixingTree { fanin: 4 },
+            plex: 1,
+            grid_side: 16,
+            dead_fraction: 0.0,
+            fault_seed: 0,
+        }),
+        Scenario::FluidicsCompile(FluidicsScenario {
+            assay: AssayKind::MixingTree { fanin: 2 },
+            plex: 3,
+            grid_side: 16,
+            dead_fraction: 0.0,
+            fault_seed: 0,
+        }),
+        Scenario::FluidicsCompile(FluidicsScenario {
+            assay: AssayKind::MixingTree { fanin: 2 },
+            plex: 2,
+            grid_side: 16,
+            dead_fraction: 0.06,
+            fault_seed: seed ^ 3,
+        }),
+        // Fluidics: dilution gradients (unequal parallel ladders).
+        Scenario::FluidicsCompile(FluidicsScenario {
+            assay: AssayKind::DilutionGradient,
+            plex: 3,
+            grid_side: 16,
+            dead_fraction: 0.0,
+            fault_seed: 0,
+        }),
+        Scenario::FluidicsCompile(FluidicsScenario {
+            assay: AssayKind::DilutionGradient,
+            plex: 2,
+            grid_side: 16,
+            dead_fraction: 0.0,
+            fault_seed: 0,
+        }),
+        Scenario::FluidicsCompile(FluidicsScenario {
+            assay: AssayKind::DilutionGradient,
+            plex: 3,
+            grid_side: 16,
+            dead_fraction: 0.04,
+            fault_seed: seed ^ 4,
+        }),
         // Lab-on-chip: one pristine and one damaged end-to-end run.
         Scenario::LabChip(LabChipScenario {
+            assay: AssayKind::Multiplex,
             seed,
             samples_per_run: 4,
             dead_fraction: 0.0,
             fault_seed: 0,
         }),
         Scenario::LabChip(LabChipScenario {
+            assay: AssayKind::Multiplex,
             seed,
             samples_per_run: 4,
             dead_fraction: 0.05,
             fault_seed: 7,
+        }),
+        // Lab-on-chip: the full pipeline over each non-multiplex family
+        // (same run seed so sensing/interpretation stay cache-friendly).
+        Scenario::LabChip(LabChipScenario {
+            assay: AssayKind::SerialDilution,
+            seed,
+            samples_per_run: 2,
+            dead_fraction: 0.0,
+            fault_seed: 0,
+        }),
+        Scenario::LabChip(LabChipScenario {
+            assay: AssayKind::Washing { wash_steps: 1 },
+            seed,
+            samples_per_run: 2,
+            dead_fraction: 0.0,
+            fault_seed: 0,
+        }),
+        Scenario::LabChip(LabChipScenario {
+            assay: AssayKind::MixingTree { fanin: 2 },
+            seed,
+            samples_per_run: 2,
+            dead_fraction: 0.0,
+            fault_seed: 0,
+        }),
+        Scenario::LabChip(LabChipScenario {
+            assay: AssayKind::DilutionGradient,
+            seed,
+            samples_per_run: 3,
+            dead_fraction: 0.05,
+            fault_seed: 9,
         }),
         // GRN: T-helper wild type plus master-regulator knockouts.
         Scenario::Knockout(KnockoutScenario {

@@ -27,8 +27,9 @@ use mns_wsn::harvest::DutyPolicy;
 use mns_wsn::protocol::Protocol;
 
 use super::{
-    BatchStats, FluidicsScenario, GrnModel, HarvestScenario, KnockoutScenario, LabChipScenario,
-    NocScenario, Scenario, ScenarioOutcome, ShardId, WorkerBatchStats, WsnScenario,
+    AssayKind, BatchStats, FluidicsScenario, GrnModel, HarvestScenario, KnockoutScenario,
+    LabChipScenario, NocScenario, Scenario, ScenarioOutcome, ShardId, WorkerBatchStats,
+    WsnScenario,
 };
 
 /// First line of every shard manifest.
@@ -160,18 +161,45 @@ fn flag(v: bool) -> &'static str {
     }
 }
 
+/// Encodes an [`AssayKind`]: a kind token, then any shape knobs.
+fn encode_assay_kind(kind: AssayKind) -> String {
+    match kind {
+        AssayKind::Multiplex => "multiplex".to_owned(),
+        AssayKind::SerialDilution => "dilution".to_owned(),
+        AssayKind::Washing { wash_steps } => format!("wash {wash_steps}"),
+        AssayKind::MixingTree { fanin } => format!("mixtree {fanin}"),
+        AssayKind::DilutionGradient => "gradient".to_owned(),
+    }
+}
+
+/// Decodes the [`AssayKind`] token(s) written by [`encode_assay_kind`].
+fn decode_assay_kind(t: &mut Tokens) -> Result<AssayKind, String> {
+    match t.next()? {
+        "multiplex" => Ok(AssayKind::Multiplex),
+        "dilution" => Ok(AssayKind::SerialDilution),
+        "wash" => Ok(AssayKind::Washing {
+            wash_steps: t.usize()?,
+        }),
+        "mixtree" => Ok(AssayKind::MixingTree { fanin: t.usize()? }),
+        "gradient" => Ok(AssayKind::DilutionGradient),
+        k => Err(format!("unknown assay kind `{k}`")),
+    }
+}
+
 /// Encodes one scenario as a single self-describing record (no newline).
 pub fn encode_scenario(scenario: &Scenario) -> String {
     match scenario {
         Scenario::FluidicsCompile(s) => format!(
-            "fluidics {} {} {} {}",
+            "fluidics {} {} {} {} {}",
+            encode_assay_kind(s.assay),
             s.plex,
             s.grid_side,
             bits(s.dead_fraction),
             s.fault_seed
         ),
         Scenario::LabChip(s) => format!(
-            "labchip {} {} {} {}",
+            "labchip {} {} {} {} {}",
+            encode_assay_kind(s.assay),
             s.seed,
             s.samples_per_run,
             bits(s.dead_fraction),
@@ -251,12 +279,14 @@ pub fn decode_scenario(record: &str) -> Result<Scenario, String> {
     let mut t = Tokens::new(record);
     let scenario = match t.next()? {
         "fluidics" => Scenario::FluidicsCompile(FluidicsScenario {
+            assay: decode_assay_kind(&mut t)?,
             plex: t.usize()?,
             grid_side: t.i32()?,
             dead_fraction: t.f64()?,
             fault_seed: t.u64()?,
         }),
         "labchip" => Scenario::LabChip(LabChipScenario {
+            assay: decode_assay_kind(&mut t)?,
             seed: t.u64()?,
             samples_per_run: t.usize()?,
             dead_fraction: t.f64()?,
@@ -677,6 +707,76 @@ mod tests {
                 "digest drift through `{encoded}`"
             );
         }
+    }
+
+    /// Every [`AssayKind`] variant with representative shape knobs.
+    fn assay_kinds() -> Vec<AssayKind> {
+        vec![
+            AssayKind::Multiplex,
+            AssayKind::SerialDilution,
+            AssayKind::Washing { wash_steps: 0 },
+            AssayKind::Washing { wash_steps: 3 },
+            AssayKind::MixingTree { fanin: 2 },
+            AssayKind::MixingTree { fanin: 4 },
+            AssayKind::DilutionGradient,
+        ]
+    }
+
+    #[test]
+    fn every_assay_kind_round_trips_in_fluidics_records() {
+        for kind in assay_kinds() {
+            let scenario = Scenario::FluidicsCompile(FluidicsScenario {
+                assay: kind,
+                plex: 3,
+                grid_side: 16,
+                dead_fraction: 0.04,
+                fault_seed: 11,
+            });
+            let encoded = encode_scenario(&scenario);
+            let decoded = decode_scenario(&encoded)
+                .unwrap_or_else(|m| panic!("decode `{encoded}` failed: {m}"));
+            assert_eq!(scenario, decoded, "value drift through `{encoded}`");
+            assert_eq!(scenario.fingerprint(), decoded.fingerprint());
+            // Byte-identity: re-encoding the decoded scenario reproduces
+            // the exact wire bytes, 16-hex float pattern included.
+            assert_eq!(encoded, encode_scenario(&decoded));
+        }
+    }
+
+    #[test]
+    fn every_assay_kind_round_trips_in_labchip_records() {
+        for kind in assay_kinds() {
+            let scenario = Scenario::LabChip(LabChipScenario {
+                assay: kind,
+                seed: 42,
+                samples_per_run: 2,
+                dead_fraction: 0.05,
+                fault_seed: 7,
+            });
+            let encoded = encode_scenario(&scenario);
+            let decoded = decode_scenario(&encoded)
+                .unwrap_or_else(|m| panic!("decode `{encoded}` failed: {m}"));
+            assert_eq!(scenario, decoded, "value drift through `{encoded}`");
+            assert_eq!(scenario.fingerprint(), decoded.fingerprint());
+            assert_eq!(encoded, encode_scenario(&decoded));
+        }
+    }
+
+    #[test]
+    fn assay_kind_tokens_are_stable_and_rejections_clean() {
+        // The kind token is part of the wire contract — a rename would
+        // silently orphan committed manifests.
+        let enc = |k| encode_assay_kind(k);
+        assert_eq!(enc(AssayKind::Multiplex), "multiplex");
+        assert_eq!(enc(AssayKind::SerialDilution), "dilution");
+        assert_eq!(enc(AssayKind::Washing { wash_steps: 2 }), "wash 2");
+        assert_eq!(enc(AssayKind::MixingTree { fanin: 3 }), "mixtree 3");
+        assert_eq!(enc(AssayKind::DilutionGradient), "gradient");
+        assert!(decode_scenario("fluidics martian 1 16 0000000000000000 0").is_err());
+        assert!(
+            decode_scenario("fluidics wash 1 16 0000000000000000 0").is_err(),
+            "wash eats its steps token, leaving the record truncated"
+        );
     }
 
     #[test]

@@ -90,6 +90,8 @@ pub struct Operation {
 pub enum AssayError {
     /// An operation references a producer that does not exist.
     UnknownInput(OpId, OpId),
+    /// An operation lists itself as one of its own inputs.
+    SelfReference(OpId),
     /// Wrong number of inputs for the operation kind.
     Arity {
         /// The ill-formed operation.
@@ -112,6 +114,9 @@ impl fmt::Display for AssayError {
         match self {
             AssayError::UnknownInput(op, input) => {
                 write!(f, "{op} references unknown producer {input}")
+            }
+            AssayError::SelfReference(op) => {
+                write!(f, "{op} lists itself as an input")
             }
             AssayError::Arity {
                 op,
@@ -311,7 +316,13 @@ impl AssayBuilder {
                 if p.0 >= n {
                     return Err(AssayError::UnknownInput(op.id, p));
                 }
-                if p.0 >= op.id.0 {
+                if p == op.id {
+                    // A self-loop is a degenerate cycle, but it deserves
+                    // its own diagnosis: the caller fed an operation its
+                    // own id, usually a copy-paste slip.
+                    return Err(AssayError::SelfReference(op.id));
+                }
+                if p.0 > op.id.0 {
                     // Builder ids are assigned in creation order, so any
                     // forward reference would be a cycle.
                     return Err(AssayError::Cycle);
@@ -390,6 +401,164 @@ pub fn multiplex_immunoassay(n: usize) -> Assay {
     b.build().expect("generated protocol is well-formed")
 }
 
+/// Canned protocol: `n` detect→wash→re-detect chains. Each sample binds
+/// its antibody, is read, then goes through `wash_steps` wash cycles
+/// (dilute with wash buffer, split, re-read) before ending at waste —
+/// the shape that forces electrode *reuse* over time, since every chain
+/// revisits detection after each wash.
+///
+/// Shape: `n · (6 + 4·wash_steps)` operations, width `n` parallel
+/// chains, critical path `2·wash_steps + 4`.
+pub fn washing_protocol(n: usize, wash_steps: usize) -> Assay {
+    let mut b = Assay::builder();
+    for i in 0..n.max(1) {
+        let sample = b.dispense(&format!("sample{i}"));
+        let reagent = b.dispense("antibody");
+        let bound = b.mix(sample, reagent);
+        let mut tap = b.split(bound);
+        b.detect(tap);
+        for _ in 0..wash_steps {
+            let wash = b.dispense("buffer-wash");
+            let washed = b.dilute(tap, wash);
+            tap = b.split(washed);
+            b.detect(tap);
+        }
+        b.output(tap);
+    }
+    b.build().expect("generated protocol is well-formed")
+}
+
+/// Canned protocol: a balanced multi-reagent reduction tree. `fanin^depth`
+/// reagents are dispensed, then combined level by level — each group of
+/// `fanin` siblings is folded through binary mixes — until a single
+/// product remains and is detected. This is the widest-then-narrowing
+/// shape of master-mix preparation.
+///
+/// Shape: `2·fanin^depth` operations (`fanin^depth` dispenses,
+/// `fanin^depth − 1` mixes, one detect), width `fanin^depth`, critical
+/// path `depth·(fanin − 1) + 2`. `fanin` is clamped to at least 2.
+///
+/// # Panics
+///
+/// Panics if `fanin^depth` overflows `usize`; keep the tree modest.
+pub fn mixing_tree(depth: usize, fanin: usize) -> Assay {
+    let fanin = fanin.max(2);
+    let mut b = Assay::builder();
+    let leaves = fanin
+        .checked_pow(u32::try_from(depth).expect("depth fits in u32"))
+        .expect("fanin^depth fits in usize");
+    let mut level: Vec<OpId> = (0..leaves)
+        .map(|i| b.dispense(&format!("reagent{i}")))
+        .collect();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len() / fanin);
+        for group in level.chunks(fanin) {
+            let mut acc = group[0];
+            for &sibling in &group[1..] {
+                acc = b.mix(acc, sibling);
+            }
+            next.push(acc);
+        }
+        level = next;
+    }
+    b.detect(level[0]);
+    b.build().expect("generated protocol is well-formed")
+}
+
+/// Canned protocol: a dilution *gradient* — `rows` independent ladders
+/// where row `r` (0-based) dilutes its own sample `r + 1` times before
+/// detection, so the detected concentrations span `2^-1 … 2^-rows`.
+/// Unlike [`serial_dilution`] the rows share nothing, which makes this
+/// the placement stressor: many wide, unequal-length parallel chains.
+///
+/// Shape: `rows² + 3·rows` operations (row `r` holds `2r + 4`), width
+/// `rows` parallel chains, critical path `rows + 2`.
+pub fn dilution_gradient(rows: usize) -> Assay {
+    let mut b = Assay::builder();
+    for r in 0..rows.max(1) {
+        let mut current = b.dispense(&format!("sample{r}"));
+        for _ in 0..=r {
+            let buffer = b.dispense("buffer");
+            current = b.dilute(current, buffer);
+        }
+        b.detect(current);
+    }
+    b.build().expect("generated protocol is well-formed")
+}
+
+/// Which synthetic protocol family a scenario compiles. Every kind is
+/// sized by one scale parameter `n` at [`instantiate`](Self::instantiate)
+/// time; the variants carry only the *shape* knobs that are not a size.
+///
+/// | kind | generator | width | critical path |
+/// |---|---|---|---|
+/// | `Multiplex` | [`multiplex_immunoassay`]`(n)` | `n` | 3 |
+/// | `SerialDilution` | [`serial_dilution`]`(n)` | 2 | `2n + 2` |
+/// | `Washing { wash_steps }` | [`washing_protocol`]`(n, wash_steps)` | `n` | `2·wash_steps + 4` |
+/// | `MixingTree { fanin }` | [`mixing_tree`]`(n, fanin)` | `fanin^n` | `n·(fanin−1) + 2` |
+/// | `DilutionGradient` | [`dilution_gradient`]`(n)` | `n` | `n + 2` |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AssayKind {
+    /// `n` independent mix→detect chains (the original immunoassay).
+    #[default]
+    Multiplex,
+    /// One ladder of `n` dilute→split→detect steps.
+    SerialDilution,
+    /// `n` detect→wash→re-detect chains of `wash_steps` washes each.
+    Washing {
+        /// Wash cycles between the first and last read of each sample.
+        wash_steps: usize,
+    },
+    /// A balanced reduction tree of depth `n` (so `fanin^n` reagents).
+    MixingTree {
+        /// Reagents merged per tree node (clamped to ≥ 2).
+        fanin: usize,
+    },
+    /// `n` independent ladders of increasing length (row `r` dilutes
+    /// `r + 1` times).
+    DilutionGradient,
+}
+
+impl AssayKind {
+    /// Builds the protocol of this kind at scale `n` (clamped to ≥ 1, so
+    /// instantiation is total — a zero-sized scenario still produces a
+    /// valid one-sample assay).
+    pub fn instantiate(self, n: usize) -> Assay {
+        let n = n.max(1);
+        match self {
+            AssayKind::Multiplex => multiplex_immunoassay(n),
+            AssayKind::SerialDilution => serial_dilution(n),
+            AssayKind::Washing { wash_steps } => washing_protocol(n, wash_steps),
+            AssayKind::MixingTree { fanin } => mixing_tree(n, fanin),
+            AssayKind::DilutionGradient => dilution_gradient(n),
+        }
+    }
+
+    /// Stable label fragment naming the kind at scale `n` (used in golden
+    /// corpus labels, so the `Multiplex` spelling must stay `plex{n}`).
+    pub fn describe(self, n: usize) -> String {
+        match self {
+            AssayKind::Multiplex => format!("plex{n}"),
+            AssayKind::SerialDilution => format!("dilution{n}"),
+            AssayKind::Washing { wash_steps } => format!("wash{n}x{wash_steps}"),
+            AssayKind::MixingTree { fanin } => format!("mixtree{n}f{fanin}"),
+            AssayKind::DilutionGradient => format!("gradient{n}"),
+        }
+    }
+
+    /// Every kind with small representative shape knobs — the sweep axis
+    /// used by examples and experiment tables.
+    pub fn catalog() -> Vec<AssayKind> {
+        vec![
+            AssayKind::Multiplex,
+            AssayKind::SerialDilution,
+            AssayKind::Washing { wash_steps: 2 },
+            AssayKind::MixingTree { fanin: 2 },
+            AssayKind::DilutionGradient,
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -453,6 +622,132 @@ mod tests {
         let m = multiplex_immunoassay(5);
         assert_eq!(m.len(), 5 * 4);
         assert_eq!(m.critical_path_len(), 3);
+    }
+
+    #[test]
+    fn washing_protocol_shape() {
+        for (n, w) in [(1, 0), (2, 1), (3, 2), (2, 4)] {
+            let a = washing_protocol(n, w);
+            assert_eq!(a.len(), n * (6 + 4 * w), "ops for n={n} w={w}");
+            assert_eq!(a.critical_path_len(), 2 * w + 4, "cp for n={n} w={w}");
+            let detects = a
+                .operations()
+                .iter()
+                .filter(|o| matches!(o.kind, OpKind::Detect))
+                .count();
+            assert_eq!(detects, n * (w + 1), "each wash re-reads every sample");
+        }
+        // Zero-sized request degrades to one sample, never an empty assay.
+        assert_eq!(washing_protocol(0, 1).len(), 10);
+    }
+
+    #[test]
+    fn mixing_tree_shape() {
+        for (depth, fanin) in [(0, 2), (1, 2), (3, 2), (2, 3), (1, 4)] {
+            let leaves = fanin_pow(fanin, depth);
+            let a = mixing_tree(depth, fanin);
+            assert_eq!(a.len(), 2 * leaves, "ops for depth={depth} fanin={fanin}");
+            assert_eq!(
+                a.critical_path_len(),
+                depth * (fanin - 1) + 2,
+                "cp for depth={depth} fanin={fanin}"
+            );
+            let mixes = a
+                .operations()
+                .iter()
+                .filter(|o| matches!(o.kind, OpKind::Mix))
+                .count();
+            assert_eq!(mixes, leaves - 1, "a reduction tree has leaves-1 mixes");
+        }
+        // Degenerate fanin clamps to binary.
+        assert_eq!(mixing_tree(2, 0), mixing_tree(2, 2));
+    }
+
+    fn fanin_pow(fanin: usize, depth: usize) -> usize {
+        fanin.pow(depth as u32)
+    }
+
+    #[test]
+    fn dilution_gradient_shape_and_concentrations() {
+        for rows in [1usize, 2, 4] {
+            let a = dilution_gradient(rows);
+            assert_eq!(a.len(), rows * rows + 3 * rows, "ops for rows={rows}");
+            assert_eq!(a.critical_path_len(), rows + 2, "cp for rows={rows}");
+        }
+        // Row r is diluted r+1 times, so detects read 2^-1 … 2^-rows.
+        let a = dilution_gradient(4);
+        let conc = concentrations(&a);
+        let detected: Vec<f64> = a
+            .operations()
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Detect))
+            .map(|o| conc[o.inputs[0].0 as usize])
+            .collect();
+        assert_eq!(detected.len(), 4);
+        for (r, &c) in detected.iter().enumerate() {
+            let expect = 0.5f64.powi(r as i32 + 1);
+            assert!((c - expect).abs() < 1e-12, "row {r}: {c} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn assay_kind_instantiates_every_family() {
+        for kind in AssayKind::catalog() {
+            let a = kind.instantiate(3);
+            assert!(!a.is_empty(), "{kind:?} at n=3");
+            // Zero scale clamps to one instead of failing validation.
+            assert!(!kind.instantiate(0).is_empty(), "{kind:?} at n=0");
+        }
+        assert_eq!(AssayKind::default(), AssayKind::Multiplex);
+        assert_eq!(AssayKind::Multiplex.describe(2), "plex2");
+        assert_eq!(AssayKind::SerialDilution.describe(3), "dilution3");
+        assert_eq!(AssayKind::Washing { wash_steps: 2 }.describe(3), "wash3x2");
+        assert_eq!(AssayKind::MixingTree { fanin: 2 }.describe(3), "mixtree3f2");
+        assert_eq!(AssayKind::DilutionGradient.describe(4), "gradient4");
+    }
+
+    #[test]
+    fn unknown_input_rejected() {
+        let mut b = Assay::builder();
+        let s = b.dispense("s");
+        b.detect(s);
+        // Forge a reference to an id the builder never handed out.
+        b.detect(OpId(99));
+        assert_eq!(
+            b.build().unwrap_err(),
+            AssayError::UnknownInput(OpId(2), OpId(99))
+        );
+    }
+
+    #[test]
+    fn self_reference_rejected() {
+        let mut b = Assay::builder();
+        b.dispense("s");
+        // The next id the builder will assign is 1 — feed it to itself.
+        b.detect(OpId(1));
+        assert_eq!(b.build().unwrap_err(), AssayError::SelfReference(OpId(1)));
+    }
+
+    #[test]
+    fn forward_reference_rejected_as_cycle() {
+        let mut b = Assay::builder();
+        b.dispense("s");
+        // op1 consumes op2 (in range once op2 exists) — a cycle seed.
+        b.detect(OpId(2));
+        b.split(OpId(0));
+        assert_eq!(b.build().unwrap_err(), AssayError::Cycle);
+    }
+
+    #[test]
+    fn rejection_errors_display() {
+        assert_eq!(
+            AssayError::SelfReference(OpId(4)).to_string(),
+            "op4 lists itself as an input"
+        );
+        assert_eq!(
+            AssayError::UnknownInput(OpId(1), OpId(9)).to_string(),
+            "op1 references unknown producer op9"
+        );
     }
 
     #[test]

@@ -99,6 +99,70 @@ pub fn random_assay<R: Rng>(mixes: usize, rng: &mut R) -> Assay {
     b.build().expect("generated assay is well-formed")
 }
 
+/// Generates a random but always-valid protocol over the *full* operation
+/// set — dispense, mix, split, dilute, detect, output — unlike
+/// [`random_assay`] which only mixes. Roughly `ops` internal operations
+/// are drawn; every droplet alive at the end is terminated with a detect
+/// or an output, so the result always validates.
+///
+/// Split products are pushed twice (both halves usable); dilutions pull a
+/// buffer dispense on demand. Self-mixing is impossible by construction:
+/// the two operands are removed from the pool before the mix is recorded.
+pub fn random_protocol<R: Rng>(ops: usize, rng: &mut R) -> Assay {
+    let mut b = Assay::builder();
+    let mut available: Vec<OpId> = Vec::new();
+    let take =
+        |available: &mut Vec<OpId>, b: &mut crate::assay::AssayBuilder, rng: &mut R| -> OpId {
+            if available.is_empty() || rng.gen_bool(0.35) {
+                b.dispense(&format!("reagent{}", rng.gen_range(0..4)))
+            } else {
+                let k = rng.gen_range(0..available.len());
+                available.swap_remove(k)
+            }
+        };
+    for _ in 0..ops.max(1) {
+        match rng.gen_range(0..10u32) {
+            // Mix two droplets (40%).
+            0..=3 => {
+                let a = take(&mut available, &mut b, rng);
+                let c = take(&mut available, &mut b, rng);
+                available.push(b.mix(a, c));
+            }
+            // Dilute a droplet with fresh buffer (30%).
+            4..=6 => {
+                let s = take(&mut available, &mut b, rng);
+                let buffer = b.dispense("buffer");
+                available.push(b.dilute(s, buffer));
+            }
+            // Split: both halves become available (20%).
+            7..=8 => {
+                let s = take(&mut available, &mut b, rng);
+                let half = b.split(s);
+                available.push(half);
+                available.push(half);
+            }
+            // Early sink: retire a droplet mid-protocol (10%).
+            _ => {
+                let s = take(&mut available, &mut b, rng);
+                if rng.gen_bool(0.5) {
+                    b.detect(s);
+                } else {
+                    b.output(s);
+                }
+            }
+        }
+    }
+    // Terminate every leftover droplet.
+    for id in available {
+        if rng.gen_bool(0.5) {
+            b.detect(id);
+        } else {
+            b.output(id);
+        }
+    }
+    b.build().expect("generated protocol is well-formed")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,6 +197,17 @@ mod tests {
             assert!(a.len() >= 6);
             let mut rng2 = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
             assert_eq!(a, random_assay(5, &mut rng2));
+        }
+    }
+
+    #[test]
+    fn random_protocols_are_valid_and_deterministic() {
+        for seed in 0..20u64 {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let a = random_protocol(6, &mut rng);
+            assert!(a.len() >= 7);
+            let mut rng2 = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            assert_eq!(a, random_protocol(6, &mut rng2));
         }
     }
 

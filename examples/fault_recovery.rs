@@ -15,7 +15,9 @@
 
 use micronano::core::labchip::{LabChipPipeline, PipelineConfig};
 use micronano::core::report::{fmt_f64, Table};
-use micronano::core::runner::{FluidicsScenario, RunnerConfig, Scenario, ScenarioOutcome};
+use micronano::core::runner::{
+    AssayKind, FluidicsScenario, RunnerConfig, Scenario, ScenarioOutcome,
+};
 use micronano::fluidics::assay::multiplex_immunoassay;
 use micronano::fluidics::compiler::{compile, CompilerConfig};
 use micronano::fluidics::FaultConfig;
@@ -33,6 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for pct in 0..=10u32 {
         for seed in 0..SEEDS {
             scenarios.push(Scenario::FluidicsCompile(FluidicsScenario {
+                assay: AssayKind::Multiplex,
                 plex: 4,
                 grid_side: cfg.grid_width,
                 dead_fraction: f64::from(pct) / 100.0,

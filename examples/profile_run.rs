@@ -18,8 +18,8 @@
 use std::sync::Arc;
 
 use micronano::core::runner::{
-    FluidicsScenario, GrnModel, HarvestScenario, KnockoutScenario, LabChipScenario, NocScenario,
-    Runner, Scenario, WsnScenario,
+    AssayKind, FluidicsScenario, GrnModel, HarvestScenario, KnockoutScenario, LabChipScenario,
+    NocScenario, Runner, Scenario, WsnScenario,
 };
 use micronano::noc::graph::CommGraph;
 use micronano::telemetry;
@@ -29,12 +29,14 @@ use micronano::wsn::protocol::Protocol;
 fn mixed_batch() -> Vec<Scenario> {
     let mut batch = vec![
         Scenario::FluidicsCompile(FluidicsScenario {
+            assay: AssayKind::Multiplex,
             plex: 4,
             grid_side: 16,
             dead_fraction: 0.04,
             fault_seed: 7,
         }),
         Scenario::LabChip(LabChipScenario {
+            assay: AssayKind::Multiplex,
             seed: 42,
             samples_per_run: 4,
             dead_fraction: 0.02,

@@ -16,8 +16,8 @@
 use std::collections::BTreeMap;
 
 use micronano::core::runner::{
-    conformance_corpus, FluidicsScenario, GrnModel, HarvestScenario, KnockoutScenario, NocScenario,
-    Runner, RunnerConfig, Scenario, WsnScenario,
+    conformance_corpus, AssayKind, FluidicsScenario, GrnModel, HarvestScenario, KnockoutScenario,
+    NocScenario, Runner, RunnerConfig, Scenario, WsnScenario,
 };
 use micronano::noc::graph::CommGraph;
 use micronano::wsn::harvest::DutyPolicy;
@@ -64,6 +64,59 @@ fn serial_run_matches_golden_corpus() {
              If intentional, regenerate the corpus and commit with [golden-update]."
         );
     }
+}
+
+/// Structural coverage of the committed golden file: every scenario
+/// family the engine ships appears at least twice in `corpus.txt`, and
+/// every corpus label is actually pinned there. Catches a corpus edit
+/// that silently drops a family from conformance coverage.
+#[test]
+fn golden_corpus_covers_every_family_at_least_twice() {
+    let corpus = conformance_corpus(CORPUS_SEED);
+    let golden = golden_digests();
+    let mut per_family: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for scenario in &corpus {
+        let label = scenario.label();
+        assert!(
+            golden.contains_key(&label),
+            "corpus scenario `{label}` is not pinned in tests/golden/corpus.txt — \
+             regenerate with `cargo run --release --example regen_golden`"
+        );
+        *per_family.entry(scenario.family()).or_insert(0) += 1;
+    }
+    for (family, count) in &per_family {
+        assert!(
+            *count >= 2,
+            "family `{family}` appears only {count} time(s) in the golden corpus; \
+             conformance needs at least two scenarios per family"
+        );
+    }
+    // The corpus must keep covering all six engine families.
+    assert_eq!(
+        per_family.len(),
+        6,
+        "family set drift: {:?}",
+        per_family.keys().collect::<Vec<_>>()
+    );
+    // And the assay axis itself: at least four distinct generators reach
+    // the fluidics compiler through the corpus.
+    let assay_kinds: std::collections::BTreeSet<&'static str> = corpus
+        .iter()
+        .filter_map(|s| match s {
+            Scenario::FluidicsCompile(f) => Some(match f.assay {
+                AssayKind::Multiplex => "multiplex",
+                AssayKind::SerialDilution => "dilution",
+                AssayKind::Washing { .. } => "wash",
+                AssayKind::MixingTree { .. } => "mixtree",
+                AssayKind::DilutionGradient => "gradient",
+            }),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        assay_kinds.len() >= 4,
+        "fluidics corpus exercises only {assay_kinds:?}"
+    );
 }
 
 #[test]
@@ -162,6 +215,7 @@ fn random_batch(seed: u64, len: usize) -> Vec<Scenario> {
                 shortcuts: rng.gen_range(0..4),
             }),
             _ => Scenario::FluidicsCompile(FluidicsScenario {
+                assay: AssayKind::Multiplex,
                 plex: rng.gen_range(1..3),
                 grid_side: 16,
                 dead_fraction: rng.gen_range(0.0..0.05),

@@ -181,10 +181,17 @@ fn crashed_worker_is_requeued_without_digest_drift() {
 fn hung_worker_is_killed_at_the_deadline_and_requeued() {
     // Small cheap batch: the healthy shard finishes fast, the hung one
     // sleeps forever and must be killed when the 1-second deadline
-    // passes.
+    // passes. Only sub-millisecond families qualify — a dilution ladder
+    // or washing chain in the healthy shard can cost hundreds of
+    // milliseconds (seconds in debug) and bust the deadline itself.
     let batch: Vec<Scenario> = conformance_corpus(CORPUS_SEED)
         .into_iter()
-        .filter(|s| !matches!(s, Scenario::LabChip(_)))
+        .filter(|s| {
+            matches!(
+                s,
+                Scenario::Knockout(_) | Scenario::Harvest(_) | Scenario::NocPoint(_)
+            )
+        })
         .take(6)
         .collect();
     let reference = Runner::serial().run(&batch);

@@ -20,8 +20,8 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 use micronano::core::runner::{
-    conformance_corpus, FluidicsScenario, GrnModel, HarvestScenario, KnockoutScenario, NocScenario,
-    Runner, RunnerConfig, Scenario, ScenarioOutcome, WsnScenario,
+    conformance_corpus, AssayKind, FluidicsScenario, GrnModel, HarvestScenario, KnockoutScenario,
+    NocScenario, Runner, RunnerConfig, Scenario, ScenarioOutcome, WsnScenario,
 };
 use micronano::noc::graph::CommGraph;
 use micronano::telemetry;
@@ -107,6 +107,7 @@ fn cheap_batch(seed: u64, len: usize) -> Vec<Scenario> {
                 shortcuts: rng.gen_range(0..3),
             }),
             _ => Scenario::FluidicsCompile(FluidicsScenario {
+                assay: AssayKind::Multiplex,
                 plex: rng.gen_range(1..3),
                 grid_side: 16,
                 dead_fraction: 0.0,
