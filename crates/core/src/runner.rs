@@ -47,6 +47,7 @@ use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::Mutex;
 use std::thread;
+use std::time::Duration;
 
 use mns_fluidics::compiler::{compile_with_faults, CompilerConfig};
 use mns_fluidics::faults::{FaultConfig, FaultModel};
@@ -971,6 +972,11 @@ pub struct RunnerConfig {
     pub shards: usize,
     /// How scenarios are partitioned when `shards > 1`.
     pub strategy: ShardStrategy,
+    /// Per-shard wall-clock deadline for out-of-process execution: a
+    /// worker past it is killed and its shard requeued. The in-process
+    /// paths ignore it; [`sharded::run_sharded`] and the cluster
+    /// scheduler (`mns-dist`) enforce it.
+    pub shard_deadline: Duration,
 }
 
 impl Default for RunnerConfig {
@@ -980,6 +986,7 @@ impl Default for RunnerConfig {
             cache: true,
             shards: 1,
             strategy: ShardStrategy::RoundRobin,
+            shard_deadline: Duration::from_secs(120),
         }
     }
 }
@@ -1018,9 +1025,180 @@ impl RunnerConfig {
         self
     }
 
+    /// Sets the per-shard deadline enforced by the out-of-process
+    /// drivers ([`sharded::run_sharded`] and the `mns-dist` cluster
+    /// scheduler). Default: 120 s.
+    #[must_use]
+    pub fn shard_deadline(mut self, deadline: Duration) -> RunnerConfig {
+        self.shard_deadline = deadline;
+        self
+    }
+
     /// Finishes the builder into a ready [`Runner`].
     pub fn build(self) -> Runner {
         Runner::new(self)
+    }
+}
+
+/// Cluster-level parameters layered on [`RunnerConfig`] by the
+/// `mns-dist` scheduler. Everything a single worker needs (threads,
+/// cache, shard plan, per-shard deadline) lives in [`ClusterConfig::runner`];
+/// this struct adds only what a *fleet* of workers needs: how many
+/// endpoints, how liveness is judged, and how retries back off.
+///
+/// ```
+/// use std::time::Duration;
+/// use mns_core::runner::ClusterConfig;
+///
+/// let cfg = ClusterConfig::new()
+///     .workers(4)
+///     .shards(8)
+///     .liveness_window(Duration::from_secs(1));
+/// assert_eq!(cfg.workers, 4);
+/// assert_eq!(cfg.runner.shards, 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Per-worker engine parameters: `runner.workers` is the thread
+    /// count *inside each* cluster worker, `runner.shards`/`strategy`
+    /// drive the [`ShardPlan`], and `runner.shard_deadline` is reused as
+    /// the per-shard cluster deadline.
+    pub runner: RunnerConfig,
+    /// Cluster worker endpoints to launch (clamped to at least 1).
+    pub workers: usize,
+    /// How often workers emit heartbeats.
+    pub heartbeat_interval: Duration,
+    /// A busy worker silent for longer than this is declared dead and
+    /// its shard requeued.
+    pub liveness_window: Duration,
+    /// How long the scheduler waits for the *first* registration before
+    /// degrading the whole sweep to in-process execution.
+    pub registration_window: Duration,
+    /// Maximum delivery attempts per shard before it is recovered
+    /// in-process (clamped to at least 1).
+    pub max_attempts: u32,
+    /// Base delay of the capped exponential backoff between attempts.
+    pub backoff_base: Duration,
+    /// Ceiling of the exponential backoff.
+    pub backoff_cap: Duration,
+    /// Seed for the deterministic backoff jitter.
+    pub seed: u64,
+    /// Ask dedicated worker processes for per-shard telemetry snapshots
+    /// and merge them into the cluster report.
+    pub collect_metrics: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            runner: RunnerConfig {
+                workers: 1,
+                shards: 4,
+                ..RunnerConfig::default()
+            },
+            workers: 2,
+            heartbeat_interval: Duration::from_millis(50),
+            liveness_window: Duration::from_secs(2),
+            registration_window: Duration::from_secs(10),
+            max_attempts: 4,
+            backoff_base: Duration::from_millis(25),
+            backoff_cap: Duration::from_secs(1),
+            seed: 0,
+            collect_metrics: false,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// The default configuration: 2 workers × 1 thread, 4 shards.
+    pub fn new() -> ClusterConfig {
+        ClusterConfig::default()
+    }
+
+    /// Sets the cluster worker count (clamped to at least 1).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> ClusterConfig {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the thread count inside each worker (0 = hardware default).
+    #[must_use]
+    pub fn threads_per_worker(mut self, threads: usize) -> ClusterConfig {
+        self.runner.workers = threads;
+        self
+    }
+
+    /// Sets the shard count (clamped to at least 1).
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> ClusterConfig {
+        self.runner = self.runner.shards(shards);
+        self
+    }
+
+    /// Sets the shard-assignment strategy.
+    #[must_use]
+    pub fn strategy(mut self, strategy: ShardStrategy) -> ClusterConfig {
+        self.runner = self.runner.strategy(strategy);
+        self
+    }
+
+    /// Sets the per-shard deadline (see [`RunnerConfig::shard_deadline`]).
+    #[must_use]
+    pub fn shard_deadline(mut self, deadline: Duration) -> ClusterConfig {
+        self.runner = self.runner.shard_deadline(deadline);
+        self
+    }
+
+    /// Sets the worker heartbeat interval.
+    #[must_use]
+    pub fn heartbeat_interval(mut self, interval: Duration) -> ClusterConfig {
+        self.heartbeat_interval = interval;
+        self
+    }
+
+    /// Sets the silence window after which a busy worker is declared
+    /// dead.
+    #[must_use]
+    pub fn liveness_window(mut self, window: Duration) -> ClusterConfig {
+        self.liveness_window = window;
+        self
+    }
+
+    /// Sets the wait for the first worker registration.
+    #[must_use]
+    pub fn registration_window(mut self, window: Duration) -> ClusterConfig {
+        self.registration_window = window;
+        self
+    }
+
+    /// Sets the per-shard attempt cap (clamped to at least 1).
+    #[must_use]
+    pub fn max_attempts(mut self, attempts: u32) -> ClusterConfig {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Sets the backoff base and cap.
+    #[must_use]
+    pub fn backoff(mut self, base: Duration, cap: Duration) -> ClusterConfig {
+        self.backoff_base = base;
+        self.backoff_cap = cap;
+        self
+    }
+
+    /// Sets the seed of the deterministic backoff jitter.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> ClusterConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Asks workers for per-shard telemetry snapshots.
+    #[must_use]
+    pub fn collect_metrics(mut self, collect: bool) -> ClusterConfig {
+        self.collect_metrics = collect;
+        self
     }
 }
 
@@ -1329,6 +1507,7 @@ impl Runner {
                     cache: self.cache_enabled,
                     shards: 1,
                     strategy: self.strategy,
+                    ..RunnerConfig::default()
                 });
                 let (shard_pairs, stats) = sub.run_indices(scenarios, indices, shard);
                 self.stats.executed += sub.stats.executed;
@@ -1353,6 +1532,31 @@ impl Runner {
         debug_assert_eq!(pairs.len(), len);
         pairs.sort_unstable_by_key(|(i, _)| *i);
         pairs.into_iter().map(|(_, outcome)| outcome).collect()
+    }
+
+    /// Evaluates exactly one shard of a larger batch: the sub-batch
+    /// `indices` (global submission indices into `scenarios`, each
+    /// `< scenarios.len()`, typically from [`ShardPlan::indices`]) runs
+    /// through cache, dedup and the worker pool, and the resulting stats
+    /// are tagged with `shard`. Returns one `(global index, outcome)`
+    /// pair per entry of `indices`, in arbitrary order.
+    ///
+    /// This is the primitive out-of-process drivers build on: a
+    /// `shard_worker`/`dist_worker` process (or the `mns-dist` scheduler
+    /// recovering a lost shard in-process) evaluates its manifest through
+    /// a fresh `Runner` so the cache/dedup scope is the shard itself, and
+    /// the pairs merge back into submission order batch-wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds for `scenarios`.
+    pub fn run_shard(
+        &mut self,
+        scenarios: &[Scenario],
+        indices: &[usize],
+        shard: ShardId,
+    ) -> (Vec<(usize, ScenarioOutcome)>, BatchStats) {
+        self.run_indices(scenarios, indices, shard)
     }
 
     /// Runs the sub-batch `indices` (global submission indices into
@@ -1862,6 +2066,63 @@ mod tests {
                 shortcuts: 2,
             }),
         ]
+    }
+
+    #[test]
+    fn runner_config_builder_sets_shard_deadline() {
+        let config = RunnerConfig::new()
+            .workers(2)
+            .shards(3)
+            .shard_deadline(Duration::from_secs(7));
+        assert_eq!(config.shard_deadline, Duration::from_secs(7));
+        // The default stays at the historical hard-coded value.
+        assert_eq!(
+            RunnerConfig::default().shard_deadline,
+            Duration::from_secs(120)
+        );
+    }
+
+    #[test]
+    fn cluster_config_builder_delegates_into_runner() {
+        let cfg = ClusterConfig::new()
+            .workers(0) // clamped
+            .threads_per_worker(3)
+            .shards(5)
+            .strategy(ShardStrategy::ByFamily)
+            .shard_deadline(Duration::from_secs(9))
+            .heartbeat_interval(Duration::from_millis(10))
+            .liveness_window(Duration::from_millis(500))
+            .registration_window(Duration::from_secs(3))
+            .max_attempts(0) // clamped
+            .backoff(Duration::from_millis(5), Duration::from_millis(80))
+            .seed(42)
+            .collect_metrics(true);
+        assert_eq!(cfg.workers, 1);
+        assert_eq!(cfg.runner.workers, 3);
+        assert_eq!(cfg.runner.shards, 5);
+        assert_eq!(cfg.runner.strategy, ShardStrategy::ByFamily);
+        assert_eq!(cfg.runner.shard_deadline, Duration::from_secs(9));
+        assert_eq!(cfg.max_attempts, 1);
+        assert_eq!(cfg.backoff_base, Duration::from_millis(5));
+        assert_eq!(cfg.backoff_cap, Duration::from_millis(80));
+        assert_eq!(cfg.seed, 42);
+        assert!(cfg.collect_metrics);
+    }
+
+    #[test]
+    fn run_shard_matches_full_run_on_its_indices() {
+        let batch = small_batch();
+        let serial = Runner::serial().run(&batch);
+        let indices = [1usize, 3];
+        let (pairs, stats) = Runner::serial().run_shard(&batch, &indices, ShardId(2));
+        assert_eq!(stats.shard, ShardId(2));
+        assert_eq!(stats.scenarios, 2);
+        let mut pairs = pairs;
+        pairs.sort_unstable_by_key(|(i, _)| *i);
+        for ((i, outcome), &expected_idx) in pairs.iter().zip(indices.iter()) {
+            assert_eq!(*i, expected_idx);
+            assert_eq!(*outcome, serial.outcomes[expected_idx]);
+        }
     }
 
     #[test]

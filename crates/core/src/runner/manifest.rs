@@ -19,8 +19,15 @@
 //! The conformance contract is digest preservation: for any scenario,
 //! `decode(encode(s))` fingerprints identically to `s`, and for any
 //! outcome, `decode(encode(o)).digest() == o.digest()`.
+//!
+//! Parsing is **total**: truncated, mutated or adversarial input returns
+//! an error, never panics — `tests/manifest_fuzz.rs` mutates valid wire
+//! bytes at random to enforce this. For stream transports, manifests can
+//! additionally travel inside length-prefixed [`write_frame`] /
+//! [`read_frame`] frames.
 
 use std::fmt;
+use std::io::{self, Read, Write};
 
 use mns_noc::graph::{CommGraph, Flow};
 use mns_wsn::harvest::DutyPolicy;
@@ -114,20 +121,25 @@ impl<'a> Tokens<'a> {
         }
     }
 
-    /// Strings travel hex-encoded with an `x` prefix.
+    /// Strings travel hex-encoded with an `x` prefix. Decoding walks
+    /// raw bytes — never string slices — so a multibyte character in a
+    /// corrupted token cannot split a char boundary and panic.
     fn string(&mut self) -> Result<String, String> {
         let t = self.next()?;
         let hex = t
             .strip_prefix('x')
-            .ok_or_else(|| format!("bad string token `{t}` (want x<hex>)"))?;
+            .ok_or_else(|| format!("bad string token `{t}` (want x<hex>)"))?
+            .as_bytes();
         if hex.len() % 2 != 0 {
             return Err(format!("odd-length string hex `{t}`"));
         }
         let mut bytes = Vec::with_capacity(hex.len() / 2);
-        for pair in 0..hex.len() / 2 {
-            let b = u8::from_str_radix(&hex[2 * pair..2 * pair + 2], 16)
-                .map_err(|_| format!("bad string hex `{t}`"))?;
-            bytes.push(b);
+        for pair in hex.chunks_exact(2) {
+            let (hi, lo) = (hex_digit(pair[0]), hex_digit(pair[1]));
+            match (hi, lo) {
+                (Some(hi), Some(lo)) => bytes.push(hi << 4 | lo),
+                _ => return Err(format!("bad string hex `{t}`")),
+            }
         }
         String::from_utf8(bytes).map_err(|_| format!("string token `{t}` is not UTF-8"))
     }
@@ -139,6 +151,21 @@ impl<'a> Tokens<'a> {
         }
     }
 }
+
+fn hex_digit(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Pre-allocation ceiling for untrusted record-declared counts: a
+/// corrupted count cannot force a huge (or overflowing) allocation —
+/// the element loop runs out of tokens and errors long before the
+/// vector ever needs to grow past its real size.
+const DECODE_CAPACITY_CAP: usize = 4096;
 
 fn bits(v: f64) -> String {
     format!("{:016x}", v.to_bits())
@@ -297,13 +324,23 @@ pub fn decode_scenario(record: &str) -> Result<Scenario, String> {
             let shortcuts = t.usize()?;
             let cores = t.usize()?;
             let nflows = t.usize()?;
-            let mut flows = Vec::with_capacity(nflows);
+            let mut flows = Vec::with_capacity(nflows.min(DECODE_CAPACITY_CAP));
             for _ in 0..nflows {
-                flows.push(Flow {
-                    src: t.usize()?,
-                    dst: t.usize()?,
-                    rate: t.f64()?,
-                });
+                let (src, dst, rate) = (t.usize()?, t.usize()?, t.f64()?);
+                // `CommGraph::new` asserts these invariants; a corrupted
+                // record must come back as an error, not a panic.
+                if src >= cores || dst >= cores {
+                    return Err(format!(
+                        "flow endpoint {src}->{dst} out of range for {cores} cores"
+                    ));
+                }
+                if src == dst {
+                    return Err(format!("self-loop flow at core {src}"));
+                }
+                if rate.is_nan() || rate <= 0.0 {
+                    return Err(format!("non-positive flow rate `{}`", bits(rate)));
+                }
+                flows.push(Flow { src, dst, rate });
             }
             Scenario::NocPoint(NocScenario {
                 app: CommGraph::new(cores, flows),
@@ -508,7 +545,7 @@ pub fn decode_outcome(record: &str) -> Result<ScenarioOutcome, String> {
         },
         "grn" => {
             let n = t.usize()?;
-            let mut fixed_points = Vec::with_capacity(n);
+            let mut fixed_points = Vec::with_capacity(n.min(DECODE_CAPACITY_CAP));
             for _ in 0..n {
                 fixed_points.push(t.u64()?);
             }
@@ -671,6 +708,54 @@ pub fn parse_outcomes(
         return Err(err(0, "missing #stats line"));
     }
     Ok((stats, entries))
+}
+
+/// Largest payload [`read_frame`] accepts (64 MiB): a corrupted or
+/// hostile length prefix cannot force an arbitrary allocation.
+pub const FRAME_MAX: usize = 64 << 20;
+
+/// Writes `payload` as one length-prefixed frame: a 4-byte big-endian
+/// length followed by the raw bytes. The framing is transport plumbing
+/// only — the payload stays the exact line-oriented wire text, so the
+/// manifest format itself is unchanged and version-gated by its header
+/// line as before.
+///
+/// # Errors
+///
+/// Fails if `payload` exceeds [`FRAME_MAX`] or on writer I/O errors.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > FRAME_MAX {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds FRAME_MAX", payload.len()),
+        ));
+    }
+    let len = u32::try_from(payload.len()).expect("FRAME_MAX fits in u32");
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame written by [`write_frame`].
+///
+/// # Errors
+///
+/// Fails with [`io::ErrorKind::UnexpectedEof`] on a truncated prefix or
+/// payload, [`io::ErrorKind::InvalidData`] on a length above
+/// [`FRAME_MAX`], and passes reader I/O errors through.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Vec<u8>> {
+    let mut prefix = [0u8; 4];
+    r.read_exact(&mut prefix)?;
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > FRAME_MAX {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds FRAME_MAX"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
 }
 
 #[cfg(test)]
@@ -843,5 +928,64 @@ mod tests {
         assert!(decode_scenario("martian 1 2 3").is_err());
         assert!(decode_outcome("grn 2 5").is_err(), "truncated fixed points");
         assert!(parse_outcomes(&format!("{OUTCOMES_HEADER}\n#shard 0\n")).is_err());
+    }
+
+    // Each case below used to reach a panic (string-slice char split,
+    // capacity overflow, `CommGraph::new` assertion); parsing must now
+    // return an error for all of them. `tests/manifest_fuzz.rs` sweeps
+    // the same surface with random mutations.
+    #[test]
+    fn adversarial_records_error_instead_of_panicking() {
+        // Multibyte characters inside a string token: byte-slicing by
+        // hex-pair index would split the char and panic.
+        assert!(decode_scenario("grn thelper ko x€€").is_err());
+        assert!(decode_scenario("grn thelper ko xβ4").is_err());
+        // Untrusted element counts must not drive pre-allocation.
+        assert!(decode_outcome("grn 18446744073709551615 x").is_err());
+        assert!(decode_scenario("noc 1 1 4 18446744073709551615").is_err());
+        // Flow invariants `CommGraph::new` would assert on.
+        let rate = bits(1.0);
+        assert!(decode_scenario(&format!("noc 1 1 2 1 0 5 {rate}")).is_err());
+        assert!(decode_scenario(&format!("noc 1 1 2 1 0 0 {rate}")).is_err());
+        let zero = bits(0.0);
+        assert!(decode_scenario(&format!("noc 1 1 2 1 0 1 {zero}")).is_err());
+        let nan = bits(f64::NAN);
+        assert!(decode_scenario(&format!("noc 1 1 2 1 0 1 {nan}")).is_err());
+        // A healthy noc record still decodes.
+        let ok = format!("noc 1 1 2 1 0 1 {rate}");
+        assert!(decode_scenario(&ok).is_ok());
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_truncation() {
+        let payload = write_manifest(ShardId(1), &[]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, payload.as_bytes()).expect("frame writes");
+        let mut cursor = &buf[..];
+        assert_eq!(
+            read_frame(&mut cursor).expect("frame reads"),
+            payload.as_bytes()
+        );
+        // Truncated payload and truncated prefix both fail cleanly.
+        let mut short = &buf[..buf.len() - 1];
+        assert_eq!(
+            read_frame(&mut short).unwrap_err().kind(),
+            std::io::ErrorKind::UnexpectedEof
+        );
+        let mut tiny = &buf[..2];
+        assert_eq!(
+            read_frame(&mut tiny).unwrap_err().kind(),
+            std::io::ErrorKind::UnexpectedEof
+        );
+        // A hostile length prefix is bounded by FRAME_MAX.
+        let huge = u32::MAX.to_be_bytes();
+        let mut hostile = &huge[..];
+        assert_eq!(
+            read_frame(&mut hostile).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidData
+        );
+        // Oversize writes are refused before touching the writer.
+        let big = vec![0u8; FRAME_MAX + 1];
+        assert!(write_frame(&mut Vec::new(), &big).is_err());
     }
 }

@@ -102,11 +102,27 @@ impl Default for ShardedConfig {
             shards: 2,
             strategy: ShardStrategy::RoundRobin,
             workers_per_shard: 1,
-            timeout: Duration::from_secs(120),
+            timeout: RunnerConfig::default().shard_deadline,
             worker: None,
             work_dir: None,
             collect_metrics: false,
             fault: None,
+        }
+    }
+}
+
+impl ShardedConfig {
+    /// Derives the sharded-run parameters from an engine config: shard
+    /// count, strategy, threads per shard, and the per-shard deadline
+    /// all come from `runner` ([`RunnerConfig::shard_deadline`] becomes
+    /// [`ShardedConfig::timeout`]); everything else keeps its default.
+    pub fn from_runner(runner: &RunnerConfig) -> ShardedConfig {
+        ShardedConfig {
+            shards: runner.shards,
+            strategy: runner.strategy,
+            workers_per_shard: runner.workers,
+            timeout: runner.shard_deadline,
+            ..ShardedConfig::default()
         }
     }
 }
@@ -134,8 +150,15 @@ pub struct ShardedReport {
 /// root, and their `deps`/`examples` subdirectories. Returns the first
 /// existing candidate.
 pub fn locate_worker() -> Option<PathBuf> {
+    locate_named_worker("shard_worker")
+}
+
+/// Searches for any worker binary (`shard_worker`, `dist_worker`, …)
+/// next to the current executable, exactly like [`locate_worker`] but
+/// parameterized on the binary's base name.
+pub fn locate_named_worker(base: &str) -> Option<PathBuf> {
     let exe = std::env::current_exe().ok()?;
-    let name = format!("shard_worker{}", std::env::consts::EXE_SUFFIX);
+    let name = format!("{base}{}", std::env::consts::EXE_SUFFIX);
     let mut dirs: Vec<PathBuf> = Vec::new();
     let mut cursor = exe.parent();
     for _ in 0..3 {
@@ -221,6 +244,7 @@ fn run_in_dir(
                 cache: true,
                 shards: 1,
                 strategy: config.strategy,
+                ..RunnerConfig::default()
             })
             .run_indices(scenarios, indices, shard);
             debug_assert!(empty_pairs.is_empty());
@@ -312,6 +336,7 @@ fn run_in_dir(
             cache: true,
             shards: 1,
             strategy: config.strategy,
+            ..RunnerConfig::default()
         });
         let (shard_pairs, stats) = sub.run_indices(scenarios, plan.indices(shard), shard);
         pairs.extend(shard_pairs);
@@ -373,6 +398,22 @@ fn collect_shard(
 mod tests {
     use super::*;
     use crate::runner::conformance_corpus;
+
+    #[test]
+    fn from_runner_carries_the_shard_deadline() {
+        let runner = RunnerConfig::new()
+            .workers(3)
+            .shards(5)
+            .strategy(ShardStrategy::ByFamily)
+            .shard_deadline(Duration::from_secs(7));
+        let config = ShardedConfig::from_runner(&runner);
+        assert_eq!(config.shards, 5);
+        assert_eq!(config.strategy, ShardStrategy::ByFamily);
+        assert_eq!(config.workers_per_shard, 3);
+        assert_eq!(config.timeout, Duration::from_secs(7));
+        // Default stays the historical 120 s.
+        assert_eq!(ShardedConfig::default().timeout, Duration::from_secs(120));
+    }
 
     // Multi-process paths are exercised by `tests/sharded_conformance.rs`
     // where Cargo guarantees the worker binary exists; here we pin the

@@ -20,6 +20,9 @@
 //! * [`wsn`] — environmental wireless sensor networks with energy harvesting
 //!   and run-time management policies,
 //! * [`dd`] — the shared BDD/ZDD decision-diagram package,
+//! * [`dist`] — the transport-agnostic cluster scheduler for
+//!   multi-machine sharded sweeps (in-process, TCP and spool-directory
+//!   transports with deterministic failure recovery),
 //! * [`sim`] — the deterministic discrete-event kernel,
 //! * [`telemetry`] — deterministic tracing/metrics with Chrome-trace,
 //!   folded-stack and metrics-snapshot exporters (off by default),
@@ -48,6 +51,7 @@ pub use mns_biosensor as biosensor;
 pub use mns_core as core;
 pub use mns_crossbar as crossbar;
 pub use mns_dd as dd;
+pub use mns_dist as dist;
 pub use mns_fluidics as fluidics;
 pub use mns_grn as grn;
 pub use mns_noc as noc;

@@ -1,0 +1,130 @@
+//! Fuzz-style hardening of the manifest wire format.
+//!
+//! The cluster scheduler feeds worker-supplied bytes straight into
+//! `parse_manifest` / `parse_outcomes`, so a corrupt spool file or a
+//! torn TCP frame must never be able to panic the process — parsing is
+//! **total**: every input either decodes or returns an error.
+//!
+//! Strategy (vendored proptest has no tuple strategies, so each case
+//! draws one `u64` seed and expands it with ChaCha8): take a valid
+//! manifest and a valid outcome file, apply random byte mutations —
+//! overwrites, truncations, splices — and parse the lossy-UTF-8 result.
+//! A separate case parses pure random bytes. The unmutated texts must
+//! keep round-tripping, pinning that the hardening did not reject valid
+//! input.
+
+use std::sync::OnceLock;
+
+use micronano::core::runner::manifest::{
+    decode_outcome, decode_scenario, parse_manifest, parse_outcomes, write_manifest, write_outcomes,
+};
+use micronano::core::runner::{conformance_corpus, Runner, Scenario, ScenarioOutcome, ShardId};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A valid manifest over the full corpus (cheap: no evaluation).
+fn base_manifest() -> &'static str {
+    static TEXT: OnceLock<String> = OnceLock::new();
+    TEXT.get_or_init(|| {
+        let corpus = conformance_corpus(42);
+        let entries: Vec<(usize, &Scenario)> = corpus.iter().enumerate().collect();
+        write_manifest(ShardId(3), &entries)
+    })
+}
+
+/// A valid outcome file over a cheap corpus subset (evaluated once).
+fn base_outcomes() -> &'static str {
+    static TEXT: OnceLock<String> = OnceLock::new();
+    TEXT.get_or_init(|| {
+        let corpus: Vec<Scenario> = conformance_corpus(42)
+            .into_iter()
+            .filter(|s| matches!(s, Scenario::Knockout(_) | Scenario::Harvest(_)))
+            .take(6)
+            .collect();
+        let mut report = Runner::serial().run(&corpus);
+        report.stats.shard = ShardId(3);
+        let pairs: Vec<(usize, ScenarioOutcome)> = (0..corpus.len()).zip(report.outcomes).collect();
+        write_outcomes(&report.stats, &pairs)
+    })
+}
+
+/// Applies `count` random mutations — overwrite, truncate or splice —
+/// and returns the result as lossy UTF-8.
+fn mutate(text: &str, rng: &mut ChaCha8Rng, count: usize) -> String {
+    let mut bytes = text.as_bytes().to_vec();
+    for _ in 0..count {
+        if bytes.is_empty() {
+            break;
+        }
+        match rng.gen_range(0..4u8) {
+            0 => {
+                let at = rng.gen_range(0..bytes.len());
+                bytes[at] = rng.gen::<u8>();
+            }
+            1 => {
+                let at = rng.gen_range(0..bytes.len());
+                bytes.truncate(at);
+            }
+            2 => {
+                let at = rng.gen_range(0..=bytes.len());
+                let extra: Vec<u8> = (0..rng.gen_range(1..16usize))
+                    .map(|_| rng.gen::<u8>())
+                    .collect();
+                bytes.splice(at..at, extra);
+            }
+            _ => {
+                let at = rng.gen_range(0..bytes.len());
+                bytes.remove(at);
+            }
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// Feeds one text to every parser in the wire format; only the return
+/// values matter — nothing here may panic.
+fn parse_everything(text: &str) {
+    let _ = parse_manifest(text);
+    let _ = parse_outcomes(text);
+    for line in text.lines().take(64) {
+        let _ = decode_scenario(line);
+        let _ = decode_outcome(line);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn mutated_manifests_never_panic(seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let count = rng.gen_range(1..24usize);
+        parse_everything(&mutate(base_manifest(), &mut rng, count));
+    }
+
+    #[test]
+    fn mutated_outcome_files_never_panic(seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let count = rng.gen_range(1..24usize);
+        parse_everything(&mutate(base_outcomes(), &mut rng, count));
+    }
+
+    #[test]
+    fn random_bytes_never_panic(seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let len = rng.gen_range(0..512usize);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen::<u8>()).collect();
+        parse_everything(&String::from_utf8_lossy(&bytes));
+    }
+}
+
+#[test]
+fn unmutated_bases_still_round_trip() {
+    let (shard, entries) = parse_manifest(base_manifest()).expect("valid manifest parses");
+    assert_eq!(shard, ShardId(3));
+    assert_eq!(entries.len(), conformance_corpus(42).len());
+    let (stats, outcomes) = parse_outcomes(base_outcomes()).expect("valid outcomes parse");
+    assert_eq!(stats.shard, ShardId(3));
+    assert_eq!(outcomes.len(), 6);
+}
