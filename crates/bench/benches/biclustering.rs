@@ -31,10 +31,7 @@ fn bench_biclustering(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("zdd_exact", &label), &label, |b, _| {
             b.iter(|| enumerate_maximal(&binary, &miner_cfg));
         });
-        let cc_cfg = ChengChurchConfig {
-            count: 3,
-            ..ChengChurchConfig::default()
-        };
+        let cc_cfg = ChengChurchConfig::new().count(3);
         group.bench_with_input(BenchmarkId::new("cheng_church", &label), &label, |b, _| {
             b.iter(|| cheng_church(&data.matrix, &cc_cfg, 42));
         });

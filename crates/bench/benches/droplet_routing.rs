@@ -42,10 +42,7 @@ fn bench_routing(c: &mut Criterion) {
         &mut rng,
     );
     for lookahead in [0u32, 1, 2] {
-        let cfg = RoutingConfig {
-            lookahead,
-            ..RoutingConfig::default()
-        };
+        let cfg = RoutingConfig::new().lookahead(lookahead);
         group.bench_with_input(
             BenchmarkId::new("lookahead", lookahead),
             &lookahead,

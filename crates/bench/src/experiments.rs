@@ -103,10 +103,7 @@ pub fn e1_droplet_routing(seed: u64) -> Vec<Table> {
         &mut rng,
     );
     for lookahead in [0u32, 1, 2] {
-        let cfg = RoutingConfig {
-            lookahead,
-            ..RoutingConfig::default()
-        };
+        let cfg = RoutingConfig::new().lookahead(lookahead);
         match route_concurrent(&grid, &requests, &cfg) {
             Ok(out) => {
                 let violations = verify_routes(&out.routes);
@@ -255,12 +252,10 @@ pub fn e3_biclustering(seed: u64) -> Vec<Table> {
             let start = Instant::now();
             let cc = cheng_church(
                 &data.matrix,
-                &ChengChurchConfig {
-                    delta: noise * noise * 2.0,
-                    count: 3,
-                    mask_range: (0.0, cfg.background + cfg.boost),
-                    ..ChengChurchConfig::default()
-                },
+                &ChengChurchConfig::new()
+                    .delta(noise * noise * 2.0)
+                    .count(3)
+                    .mask_range(0.0, cfg.background + cfg.boost),
                 seed,
             );
             let cc_ms = ms(start);

@@ -94,27 +94,6 @@ pub fn explore_noc(
     )
 }
 
-/// [`explore_noc`] with explicit engine parameters (`workers`, 0 = one
-/// per hardware thread; 1–4 threads documented in the bench).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `explore_noc_with` with a `RunnerConfig` (e.g. \
-            `RunnerConfig::new().workers(n).cache(false)`)"
-)]
-pub fn explore_noc_parallel(
-    app: &CommGraph,
-    cluster_sizes: &[usize],
-    shortcut_budgets: &[usize],
-    workers: usize,
-) -> (Vec<NocDesignPoint>, Vec<usize>) {
-    explore_noc_with(
-        app,
-        cluster_sizes,
-        shortcut_budgets,
-        RunnerConfig::new().workers(workers).cache(false),
-    )
-}
-
 /// [`explore_noc`] on the scenario engine: every `(cluster, shortcuts)`
 /// design point becomes a [`Scenario::NocPoint`] evaluated by a
 /// [`Runner`](crate::runner::Runner) built from `config` — any worker,

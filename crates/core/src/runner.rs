@@ -1641,28 +1641,6 @@ impl Runner {
         (pairs, batch)
     }
 
-    /// Evaluates a batch, returning outcomes in submission order.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Runner::run`, which returns a `BatchReport`"
-    )]
-    pub fn run_batch(&mut self, scenarios: &[Scenario]) -> Vec<ScenarioOutcome> {
-        self.run(scenarios).outcomes
-    }
-
-    /// Evaluates a batch, returning outcomes plus per-worker stats.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Runner::run`; the `BatchReport` carries outcomes and stats"
-    )]
-    pub fn run_batch_stats(
-        &mut self,
-        scenarios: &[Scenario],
-    ) -> (Vec<ScenarioOutcome>, BatchStats) {
-        let report = self.run(scenarios);
-        (report.outcomes, report.stats)
-    }
-
     /// Evaluates one job on whatever thread is running it, under a
     /// detached task span keyed by submission index. Detached spans flush
     /// straight to the collector, so serial (inline) and parallel (worker
@@ -1765,21 +1743,6 @@ impl Runner {
         results.sort_unstable_by_key(|(i, _)| *i);
         (results, per_worker)
     }
-}
-
-/// One-shot convenience: evaluates `scenarios` on `workers` threads
-/// (0 = hardware default) without building a [`Runner`] by hand.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `RunnerConfig::new().workers(n).cache(false).build().run(scenarios)`"
-)]
-pub fn run_scenarios(scenarios: &[Scenario], workers: usize) -> Vec<ScenarioOutcome> {
-    RunnerConfig::new()
-        .workers(workers)
-        .cache(false)
-        .build()
-        .run(scenarios)
-        .outcomes
 }
 
 /// The cross-domain golden corpus: every scenario family the workspace

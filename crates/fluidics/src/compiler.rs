@@ -364,9 +364,28 @@ fn route_schedule(
     degraded: &[Cell],
     abandoned: &BTreeSet<usize>,
 ) -> Result<RoutedEdges, RouteError> {
-    // Modules block the array while reserved; landing windows are covered
-    // by the reservation interval produced by the scheduler.
-    let mut obstacles: Vec<Obstacle> = sched
+    let mut obstacles = module_obstacles(sched);
+    obstacles.extend_from_slice(extra_obstacles);
+    let (requests, edges) = transport_requests(assay, sched, abandoned);
+    let outcome = route_with_environment(grid, &requests, &obstacles, degraded, routing)?;
+    Ok((outcome.routes, edges))
+}
+
+/// The droplet-transport workload a schedule implies — one routing
+/// request per DAG edge (departure/deadline windows, module tags, merge
+/// groups) plus the time-windowed obstacle of every reserved module.
+/// This is exactly the batch [`compile`] hands the router; it is public
+/// so differential and property suites can drive the router with
+/// realistic protocol traffic (e.g. `workload::random_protocol`).
+pub fn transport_plan(assay: &Assay, sched: &Schedule) -> (Vec<RoutingRequest>, Vec<Obstacle>) {
+    let (requests, _edges) = transport_requests(assay, sched, &BTreeSet::new());
+    (requests, module_obstacles(sched))
+}
+
+/// Modules block the array while reserved; landing windows are covered
+/// by the reservation interval produced by the scheduler.
+fn module_obstacles(sched: &Schedule) -> Vec<Obstacle> {
+    sched
         .entries()
         .iter()
         .map(|e| {
@@ -389,9 +408,14 @@ fn route_schedule(
                 tag_of(e.op),
             )
         })
-        .collect();
-    obstacles.extend_from_slice(extra_obstacles);
+        .collect()
+}
 
+fn transport_requests(
+    assay: &Assay,
+    sched: &Schedule,
+    abandoned: &BTreeSet<usize>,
+) -> (Vec<RoutingRequest>, Vec<(OpId, OpId)>) {
     // One routing request per DAG edge. Output-slot indices make split
     // products leave from opposite splitter ends; the counter covers both
     // earlier consumers and earlier input slots of the same consumer
@@ -438,9 +462,7 @@ fn route_schedule(
         // Keep OpKind linter-honest: dispense/output need no extra edges.
         debug_assert!(op.inputs.len() == op.kind.arity_in());
     }
-
-    let outcome = route_with_environment(grid, &requests, &obstacles, degraded, routing)?;
-    Ok((outcome.routes, edges))
+    (requests, edges)
 }
 
 /// Assembles the per-tick actuation table from module reservations and
@@ -724,10 +746,7 @@ mod tests {
         b.output(d);
         let assay = b.build().unwrap();
         let cfg = CompilerConfig {
-            routing: crate::route::RoutingConfig {
-                max_time: 1,
-                ..crate::route::RoutingConfig::default()
-            },
+            routing: crate::route::RoutingConfig::new().max_time(1),
             ..CompilerConfig::default()
         };
         let model = FaultModel::from_parts(

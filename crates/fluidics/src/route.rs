@@ -7,9 +7,27 @@
 //! droplets, with stall moves allowed and priority rotation on failure —
 //! the classic approach for DMFB routing, and the subject of experiment E1
 //! (concurrent versus serial transport of multiple samples).
+//!
+//! ## The reservation index
+//!
+//! The hot inner loop is the A\* successor check: *may this droplet occupy
+//! cell `c` at tick `t`?* Instead of scanning every already-planned route
+//! (O(planned) per successor), the planner keeps a flat space-time
+//! **reservation index**: one slot per `cell × tick`, into which each
+//! planned route writes its *dilated* conflict footprint — every cell
+//! within Chebyshev `MIN_SEPARATION − 1` of an occupied position, at every
+//! arrival tick the pairwise rules forbid under the configured lookahead.
+//! A successor check is then a single slot load. Merge-group exemptions
+//! survive the precomputation: a slot claimed only by droplets of one
+//! merge group is *soft* (passable for partners of that group), anything
+//! else is *hard*. The `best`/`parent` maps of the search itself are dense
+//! epoch-tagged slabs indexed by `(cell, tick)`, so the priority-rotation
+//! retries of [`route_with_environment`] reuse one allocation without
+//! clearing. The pre-index planner survives unchanged in [`reference`] as
+//! the differential-test oracle; both produce byte-identical routes.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::error::Error;
 use std::fmt;
 
@@ -153,6 +171,16 @@ impl Obstacle {
 }
 
 /// Router tuning knobs.
+///
+/// Constructible as a struct literal, via [`Default`], or with the
+/// chainable builder style shared by the workspace's other configs:
+///
+/// ```
+/// use mns_fluidics::route::RoutingConfig;
+/// let cfg = RoutingConfig::new().lookahead(2).max_priority_rotations(8);
+/// assert_eq!(cfg.lookahead, 2);
+/// assert_eq!(cfg.max_time, RoutingConfig::default().max_time);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RoutingConfig {
     /// Maximum ticks a droplet may spend from its departure; a droplet
@@ -176,6 +204,35 @@ impl Default for RoutingConfig {
             lookahead: 1,
             max_priority_rotations: 32,
         }
+    }
+}
+
+impl RoutingConfig {
+    /// The default configuration (see [`Default`]).
+    pub fn new() -> RoutingConfig {
+        RoutingConfig::default()
+    }
+
+    /// Sets the per-droplet routing horizon in ticks.
+    #[must_use]
+    pub fn max_time(mut self, max_time: u32) -> RoutingConfig {
+        self.max_time = max_time;
+        self
+    }
+
+    /// Sets the constraint lookahead window (0 = static only, 1 =
+    /// dynamic, 2 = anticipatory).
+    #[must_use]
+    pub fn lookahead(mut self, lookahead: u32) -> RoutingConfig {
+        self.lookahead = lookahead;
+        self
+    }
+
+    /// Sets how many priority rotations to attempt before giving up.
+    #[must_use]
+    pub fn max_priority_rotations(mut self, rotations: u32) -> RoutingConfig {
+        self.max_priority_rotations = rotations;
+        self
     }
 }
 
@@ -309,6 +366,23 @@ pub fn route_with_environment(
     degraded: &[Cell],
     config: &RoutingConfig,
 ) -> Result<RoutingOutcome, RouteError> {
+    let mut expansions = 0u64;
+    let result =
+        route_environment_inner(grid, requests, obstacles, degraded, config, &mut expansions);
+    if expansions > 0 {
+        mns_telemetry::counter_add("fluidics.route.expansions", expansions);
+    }
+    result
+}
+
+fn route_environment_inner(
+    grid: &Grid,
+    requests: &[RoutingRequest],
+    obstacles: &[Obstacle],
+    degraded: &[Cell],
+    config: &RoutingConfig,
+    expansions: &mut u64,
+) -> Result<RoutingOutcome, RouteError> {
     for r in requests {
         if !grid.contains(r.start) || !grid.contains(r.goal) {
             return Err(RouteError::BadEndpoint(r.id));
@@ -324,14 +398,28 @@ pub fn route_with_environment(
     let mut order: Vec<usize> = (0..requests.len()).collect();
     order.sort_by_key(|&i| Reverse(requests[i].start.manhattan(requests[i].goal)));
 
-    let degraded: std::collections::HashSet<Cell> = degraded.iter().copied().collect();
+    let walls = ObstacleGrid::build(grid, obstacles);
+    let slow = DegradedGrid::build(grid, degraded);
+    let mut reservations = ReservationIndex::new(grid, config.lookahead);
+    let mut slab = SearchSlab::new(grid);
 
     let mut rotations = 0;
     loop {
-        match try_order(grid, requests, obstacles, &degraded, &order, config) {
+        match try_order(
+            grid,
+            requests,
+            &walls,
+            &slow,
+            &order,
+            config,
+            &mut reservations,
+            &mut slab,
+            expansions,
+        ) {
             Ok(mut routes_by_index) => {
-                let routes: Vec<Route> = (0..requests.len())
-                    .map(|i| routes_by_index.remove(&i).expect("route planned"))
+                let routes: Vec<Route> = routes_by_index
+                    .iter_mut()
+                    .map(|r| r.take().expect("route planned"))
                     .collect();
                 // Deadlines.
                 for (r, req) in routes.iter().zip(requests) {
@@ -424,18 +512,330 @@ struct PendingSeed {
     merge_group: Option<u32>,
 }
 
+/// The dilation radius of the pairwise rules: a conflict exists at
+/// Chebyshev distance `< MIN_SEPARATION`, so each occupied cell poisons
+/// the `(2·R+1)²` block around it.
+const DILATE: i32 = MIN_SEPARATION - 1;
+
+/// Reservation-slot ownership. Epoch-stale slots read as free.
+const KIND_SOFT: u32 = 1;
+const KIND_HARD: u32 = 2;
+
+#[derive(Clone, Copy)]
+struct ResSlot {
+    epoch: u32,
+    kind: u32,
+    group: u32,
+}
+
+const FREE_SLOT: ResSlot = ResSlot {
+    epoch: 0,
+    kind: 0,
+    group: 0,
+};
+
+/// Flat space-time occupancy table over `cell_index × tick`, holding the
+/// dilated conflict footprint of every planned route under the configured
+/// lookahead. One slot load answers "may a droplet arrive at this cell at
+/// this tick?" — the check the pre-index planner answered by scanning all
+/// planned routes. Epoch-tagged so the priority-rotation retries reuse the
+/// allocation without clearing.
+struct ReservationIndex {
+    cells: usize,
+    width: i32,
+    lookahead: u32,
+    ticks: u32,
+    epoch: u32,
+    slots: Vec<ResSlot>,
+}
+
+impl ReservationIndex {
+    fn new(grid: &Grid, lookahead: u32) -> Self {
+        ReservationIndex {
+            cells: grid.cell_count() as usize,
+            width: grid.width(),
+            lookahead,
+            ticks: 0,
+            epoch: 0,
+            slots: Vec::new(),
+        }
+    }
+
+    /// Invalidates every reservation (O(1): bumps the epoch).
+    fn reset(&mut self) {
+        self.epoch += 1;
+    }
+
+    #[inline]
+    fn index(&self, cell: Cell, t: u32) -> usize {
+        t as usize * self.cells + (cell.y * self.width + cell.x) as usize
+    }
+
+    fn ensure_ticks(&mut self, t: u32) {
+        if t < self.ticks {
+            return;
+        }
+        let ticks = (t + 1).next_power_of_two().max(64);
+        self.slots.resize(ticks as usize * self.cells, FREE_SLOT);
+        self.ticks = ticks;
+    }
+
+    /// Would occupying `cell` at tick `t` violate a planned reservation?
+    /// Soft slots belong to a single merge group and only block outsiders.
+    #[inline]
+    fn blocked(&self, cell: Cell, t: u32, my_group: Option<u32>) -> bool {
+        if t >= self.ticks {
+            return false;
+        }
+        let s = self.slots[self.index(cell, t)];
+        if s.epoch != self.epoch {
+            return false;
+        }
+        s.kind == KIND_HARD || my_group != Some(s.group)
+    }
+
+    #[inline]
+    fn mark(&mut self, cell: Cell, t: u32, group: Option<u32>) {
+        self.ensure_ticks(t);
+        let epoch = self.epoch;
+        let idx = self.index(cell, t);
+        let slot = &mut self.slots[idx];
+        if slot.epoch != epoch {
+            *slot = match group {
+                // Ungrouped droplets block everyone.
+                None => ResSlot {
+                    epoch,
+                    kind: KIND_HARD,
+                    group: 0,
+                },
+                Some(g) => ResSlot {
+                    epoch,
+                    kind: KIND_SOFT,
+                    group: g,
+                },
+            };
+        } else if slot.kind != KIND_HARD {
+            // Two distinct claimants (different groups, or a group plus an
+            // ungrouped droplet) block everyone: no searcher is exempt
+            // from both.
+            match group {
+                Some(g) if slot.kind == KIND_SOFT && slot.group == g => {}
+                _ => {
+                    slot.kind = KIND_HARD;
+                    slot.group = 0;
+                }
+            }
+        }
+    }
+
+    /// Writes the dilated conflict footprint of a freshly-planned route.
+    /// A droplet occupying `p` at tick `τ` forbids arrivals within
+    /// Chebyshev `< MIN_SEPARATION` of `p` at `τ` (static rule), at
+    /// `τ ± 1` (dynamic rule, lookahead ≥ 1) and at `τ − 2`
+    /// (anticipatory, lookahead ≥ 2) — exactly the conditions the
+    /// pre-index planner re-derived per successor.
+    fn reserve(&mut self, grid: &Grid, route: &Route, group: Option<u32>) {
+        let lookahead = self.lookahead;
+        for (k, &p) in route.path.iter().enumerate() {
+            let occupied = route.depart + k as u32;
+            for dy in -DILATE..=DILATE {
+                for dx in -DILATE..=DILATE {
+                    let c = Cell::new(p.x + dx, p.y + dy);
+                    if !grid.contains(c) {
+                        continue;
+                    }
+                    self.mark(c, occupied, group);
+                    if lookahead >= 1 {
+                        self.mark(c, occupied + 1, group);
+                        if let Some(t) = occupied.checked_sub(1) {
+                            self.mark(c, t, group);
+                        }
+                    }
+                    if lookahead >= 2 {
+                        if let Some(t) = occupied.checked_sub(2) {
+                            self.mark(c, t, group);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Per-cell time-windowed obstacle spans, rasterized once per routing
+/// call so the per-successor check walks a (usually empty) short list
+/// instead of every obstacle.
+struct ObstacleGrid {
+    width: i32,
+    spans: Vec<Vec<(u32, u32, u32)>>,
+}
+
+impl ObstacleGrid {
+    fn build(grid: &Grid, obstacles: &[Obstacle]) -> Self {
+        let mut spans = vec![Vec::new(); grid.cell_count() as usize];
+        for o in obstacles {
+            let r = i32::from(o.ring);
+            let x0 = (o.min.x - r).max(0);
+            let x1 = (o.max.x + r).min(grid.width() - 1);
+            let y0 = (o.min.y - r).max(0);
+            let y1 = (o.max.y + r).min(grid.height() - 1);
+            for y in y0..=y1 {
+                for x in x0..=x1 {
+                    spans[(y * grid.width() + x) as usize].push((o.from, o.until, o.tag));
+                }
+            }
+        }
+        ObstacleGrid {
+            width: grid.width(),
+            spans,
+        }
+    }
+
+    #[inline]
+    fn blocked(&self, cell: Cell, t: u32, ignore_tags: &[u32]) -> bool {
+        let spans = &self.spans[(cell.y * self.width + cell.x) as usize];
+        spans
+            .iter()
+            .any(|&(from, until, tag)| t >= from && t < until && !ignore_tags.contains(&tag))
+    }
+}
+
+/// Dense membership grid for degraded (slow-actuation) electrodes.
+struct DegradedGrid {
+    width: i32,
+    slow: Vec<bool>,
+}
+
+impl DegradedGrid {
+    fn build(grid: &Grid, degraded: &[Cell]) -> Self {
+        let mut slow = vec![false; grid.cell_count() as usize];
+        for &c in degraded {
+            if grid.contains(c) {
+                slow[(c.y * grid.width() + c.x) as usize] = true;
+            }
+        }
+        DegradedGrid {
+            width: grid.width(),
+            slow,
+        }
+    }
+
+    #[inline]
+    fn contains(&self, cell: Cell) -> bool {
+        self.slow[(cell.y * self.width + cell.x) as usize]
+    }
+}
+
+/// One search state in the dense `best`/`parent` slab.
+#[derive(Clone, Copy)]
+struct SearchSlot {
+    epoch: u32,
+    moves: u32,
+    parent_cell: u32,
+    parent_t: u32,
+}
+
+const UNVISITED: SearchSlot = SearchSlot {
+    epoch: 0,
+    moves: 0,
+    parent_cell: 0,
+    parent_t: 0,
+};
+
+/// Sentinel `parent_cell` marking the emergence seed.
+const NO_PARENT: u32 = u32::MAX;
+
+/// Dense `best`-cost + `parent` storage for one A\* run, indexed by
+/// `(cell, tick − depart)` and epoch-tagged so every droplet (and every
+/// priority-rotation retry) reuses the same allocation with no clearing.
+struct SearchSlab {
+    cells: usize,
+    width: i32,
+    ticks: u32,
+    epoch: u32,
+    slots: Vec<SearchSlot>,
+}
+
+impl SearchSlab {
+    fn new(grid: &Grid) -> Self {
+        SearchSlab {
+            cells: grid.cell_count() as usize,
+            width: grid.width(),
+            ticks: 0,
+            epoch: 0,
+            slots: Vec::new(),
+        }
+    }
+
+    /// Starts a fresh search (O(1): bumps the epoch).
+    fn reset(&mut self) {
+        self.epoch += 1;
+    }
+
+    #[inline]
+    fn index(&self, cell: Cell, t_rel: u32) -> usize {
+        t_rel as usize * self.cells + (cell.y * self.width + cell.x) as usize
+    }
+
+    fn ensure_ticks(&mut self, t_rel: u32) {
+        if t_rel < self.ticks {
+            return;
+        }
+        let ticks = (t_rel + 1).next_power_of_two().max(64);
+        self.slots.resize(ticks as usize * self.cells, UNVISITED);
+        self.ticks = ticks;
+    }
+
+    #[inline]
+    fn best(&self, cell: Cell, t_rel: u32) -> u32 {
+        if t_rel >= self.ticks {
+            return u32::MAX;
+        }
+        let s = self.slots[self.index(cell, t_rel)];
+        if s.epoch == self.epoch {
+            s.moves
+        } else {
+            u32::MAX
+        }
+    }
+
+    #[inline]
+    fn visit(&mut self, cell: Cell, t_rel: u32, moves: u32, parent_cell: u32, parent_t: u32) {
+        self.ensure_ticks(t_rel);
+        let epoch = self.epoch;
+        let idx = self.index(cell, t_rel);
+        self.slots[idx] = SearchSlot {
+            epoch,
+            moves,
+            parent_cell,
+            parent_t,
+        };
+    }
+
+    #[inline]
+    fn parent(&self, cell: Cell, t_rel: u32) -> (u32, u32) {
+        let s = self.slots[self.index(cell, t_rel)];
+        (s.parent_cell, s.parent_t)
+    }
+}
+
 /// Attempts to plan every request in the given order. On failure returns
 /// the *position in `order`* of the request that could not be planned.
+#[allow(clippy::too_many_arguments)]
 fn try_order(
     grid: &Grid,
     requests: &[RoutingRequest],
-    obstacles: &[Obstacle],
-    degraded: &std::collections::HashSet<Cell>,
+    walls: &ObstacleGrid,
+    slow: &DegradedGrid,
     order: &[usize],
     config: &RoutingConfig,
-) -> Result<HashMap<usize, Route>, usize> {
+    reservations: &mut ReservationIndex,
+    slab: &mut SearchSlab,
+    expansions: &mut u64,
+) -> Result<Vec<Option<Route>>, usize> {
+    reservations.reset();
     let mut planned: Vec<(Route, Option<u32>)> = Vec::new();
-    let mut by_index = HashMap::new();
+    let mut by_index: Vec<Option<Route>> = vec![None; requests.len()];
     for (pos, &idx) in order.iter().enumerate() {
         let req = &requests[idx];
         let pending: Vec<PendingSeed> = order[pos + 1..]
@@ -446,10 +846,27 @@ fn try_order(
                 merge_group: requests[j].merge_group,
             })
             .collect();
-        match astar(grid, req, obstacles, degraded, &planned, &pending, config) {
+        match astar(
+            grid,
+            req,
+            walls,
+            slow,
+            &planned,
+            &pending,
+            config,
+            reservations,
+            slab,
+            expansions,
+        ) {
             Some(route) => {
-                planned.push((route.clone(), req.merge_group));
-                by_index.insert(idx, route);
+                // Reservations are only ever read by the searches that
+                // follow in this pass; the last-planned route has none,
+                // so skip the (possibly slab-growing) footprint write.
+                if pos + 1 < order.len() {
+                    reservations.reserve(grid, &route, req.merge_group);
+                    planned.push((route.clone(), req.merge_group));
+                }
+                by_index[idx] = Some(route);
             }
             None => return Err(pos),
         }
@@ -457,34 +874,24 @@ fn try_order(
     Ok(by_index)
 }
 
-/// Is occupying `next` at `t + 1` compatible with every already-planned
-/// route, under the configured lookahead?
-///
-/// All rules reduce to conditions on the *destination* cell: being at
-/// `next` at time `τ = t + 1` requires staying ≥ 2 (Chebyshev) from a
-/// planned droplet's position at `τ` (static rule), at `τ − 1` (our move
-/// into a cell it is vacating) and at `τ + 1` (its move into a cell next
-/// to us). Checking the last condition here — at the transition that
-/// *enters* the cell — is essential: checking it one step later would
-/// reject every successor of an already-doomed state instead of pruning
-/// the doomed state itself.
-fn move_ok(
+/// Is arriving at `next` at tick `tau` compatible with the guaranteed
+/// emergence instants of the not-yet-planned droplets? They are a
+/// certainty at exactly one instant — their start cell at their depart
+/// tick — and violating it (or, under the dynamic rule, the ticks
+/// adjacent to it) makes the rest of the priority order unroutable no
+/// matter how it is planned.
+#[inline]
+fn pending_ok(
     next: Cell,
-    t: u32,
-    planned: &[(Route, Option<u32>)],
+    tau: u32,
     pending: &[PendingSeed],
     my_group: Option<u32>,
     lookahead: u32,
 ) -> bool {
-    // Not-yet-planned droplets are a certainty at exactly one instant:
-    // their start cell at their depart tick. Violating that instant (or,
-    // under the dynamic rule, the ticks adjacent to it) makes the rest of
-    // the priority order unroutable no matter how it is planned.
     for p in pending {
         if my_group.is_some() && p.merge_group == my_group {
             continue;
         }
-        let tau = t + 1;
         let near = if lookahead == 0 {
             tau == p.depart
         } else {
@@ -494,53 +901,26 @@ fn move_ok(
             return false;
         }
     }
-    for (r, group) in planned {
-        // Merge partners are exempt from mutual spacing: early contact is
-        // an early (intended) merge.
-        if my_group.is_some() && *group == my_group {
-            continue;
-        }
-        // Static rule at the arrival instant.
-        if let Some(p) = r.position_at(t + 1) {
-            if next.chebyshev(p) < MIN_SEPARATION {
-                return false;
-            }
-        }
-        if lookahead >= 1 {
-            // Dynamic rule: our new cell versus their old cell…
-            if let Some(p) = r.position_at(t) {
-                if next.chebyshev(p) < MIN_SEPARATION {
-                    return false;
-                }
-            }
-            // …and their next move versus our new cell.
-            if let Some(p) = r.position_at(t + 2) {
-                if next.chebyshev(p) < MIN_SEPARATION {
-                    return false;
-                }
-            }
-        }
-        if lookahead >= 2 {
-            // Anticipatory: stay clear of where they will be after that.
-            if let Some(p) = r.position_at(t + 3) {
-                if next.chebyshev(p) < MIN_SEPARATION {
-                    return false;
-                }
-            }
-        }
-    }
     true
 }
 
-/// Space-time A\* for one droplet against planned reservations.
+/// Space-time A\* for one droplet against the reservation index.
+///
+/// The node ordering, successor enumeration and accept/reject conditions
+/// are identical to [`reference`]'s planner — only the bookkeeping
+/// changed — so the two produce byte-identical routes.
+#[allow(clippy::too_many_arguments)]
 fn astar(
     grid: &Grid,
     req: &RoutingRequest,
-    obstacles: &[Obstacle],
-    degraded: &std::collections::HashSet<Cell>,
+    walls: &ObstacleGrid,
+    slow: &DegradedGrid,
     planned: &[(Route, Option<u32>)],
     pending: &[PendingSeed],
     config: &RoutingConfig,
+    reservations: &ReservationIndex,
+    slab: &mut SearchSlab,
+    expansions: &mut u64,
 ) -> Option<Route> {
     #[derive(PartialEq, Eq)]
     struct Node {
@@ -565,12 +945,6 @@ fn astar(
         }
     }
 
-    let blocked = |cell: Cell, t: u32| {
-        obstacles
-            .iter()
-            .any(|o| !req.ignore_tags.contains(&o.tag) && o.blocks(cell, t))
-    };
-
     let relative_cap = req.depart.saturating_add(config.max_time);
     let horizon = req.deadline.unwrap_or(relative_cap).min(relative_cap);
     let h0 = req.start.manhattan(req.goal) as u32;
@@ -578,22 +952,22 @@ fn astar(
         return None;
     }
 
+    slab.reset();
     let mut open = BinaryHeap::new();
-    let mut best: HashMap<(Cell, u32), u32> = HashMap::new();
-    // Sentinel parent time 0 marks seed states during reconstruction.
-    let mut parent: HashMap<(Cell, u32), (Cell, u32)> = HashMap::new();
 
     // The droplet is physically on the array from `depart` on: there is
     // exactly one search seed, and any waiting happens as explicit stall
     // moves that the pairwise constraints check and the verifier sees.
     // Appearance at tick τ must clear every planned droplet at τ−1
     // (their vacated cell), τ (static) and τ+1 (their next move) — plus
-    // τ+2 under anticipatory lookahead.
+    // τ+2 under anticipatory lookahead. This window is wider than the
+    // lookahead-0 reservation footprint, so it checks the planned routes
+    // directly (once per search, not per successor).
     let emergence_legal = {
         let t0 = req.depart;
         let lo = t0.saturating_sub(1);
         let hi = t0 + if config.lookahead >= 2 { 2 } else { 1 };
-        !blocked(req.start, t0)
+        !walls.blocked(req.start, t0, &req.ignore_tags)
             && planned.iter().all(|(r, group)| {
                 if req.merge_group.is_some() && *group == req.merge_group {
                     return true;
@@ -621,13 +995,14 @@ fn astar(
             cell: req.start,
             t: req.depart,
         });
-        best.insert((req.start, req.depart), 0);
+        slab.visit(req.start, 0, 0, NO_PARENT, 0);
     }
 
     while let Some(Node { cell, t, moves, .. }) = open.pop() {
-        if moves > *best.get(&(cell, t)).unwrap_or(&u32::MAX) {
+        if moves > slab.best(cell, t - req.depart) {
             continue; // stale heap entry
         }
+        *expansions += 1;
         if cell == req.goal && t >= req.earliest_arrival.unwrap_or(0) {
             // Reconstruct back to the emergence seed; the route starts on
             // the array at that instant (`Route::depart`), any earlier
@@ -637,7 +1012,15 @@ fn astar(
             // every intermediate tick.
             let mut path = vec![cell];
             let mut cur = (cell, t);
-            while let Some(&prev) = parent.get(&cur) {
+            loop {
+                let (pc, pt) = slab.parent(cur.0, cur.1 - req.depart);
+                if pc == NO_PARENT {
+                    break;
+                }
+                let prev = (
+                    Cell::new(pc as i32 % grid.width(), pc as i32 / grid.width()),
+                    pt,
+                );
                 for _ in 1..(cur.1 - prev.1) {
                     path.push(cur.0);
                 }
@@ -661,7 +1044,7 @@ fn astar(
             // Actuating a droplet onto a degraded electrode takes two
             // ticks: it occupies the cell at both t+1 and t+2 (a forced
             // dwell). Stalling in place costs one tick regardless.
-            let dt = if next != cell && degraded.contains(&next) {
+            let dt = if next != cell && slow.contains(next) {
                 2
             } else {
                 1
@@ -669,39 +1052,385 @@ fn astar(
             if t + dt + h > horizon {
                 continue; // cannot make the deadline from there
             }
-            if (1..=dt).any(|d| blocked(next, t + d)) {
+            if (1..=dt).any(|d| walls.blocked(next, t + d, &req.ignore_tags)) {
                 continue;
             }
-            // Each occupied tick must clear the planned droplets: the
-            // move-in transition at t, plus (for a dwell) the stay at t+1.
-            if !(0..dt).all(|d| {
-                move_ok(
-                    next,
-                    t + d,
-                    planned,
-                    pending,
-                    req.merge_group,
-                    config.lookahead,
-                )
+            // Each occupied tick must clear the planned droplets (one
+            // reservation-slot load per tick) and the pending emergence
+            // seeds: the move-in arrival at t+1, plus (for a dwell) the
+            // stay at t+2.
+            if (1..=dt).any(|d| {
+                reservations.blocked(next, t + d, req.merge_group)
+                    || !pending_ok(next, t + d, pending, req.merge_group, config.lookahead)
             }) {
                 continue;
             }
             let new_moves = moves + u32::from(next != cell);
-            let key = (next, t + dt);
-            let known = best.get(&key).copied().unwrap_or(u32::MAX);
-            if new_moves < known {
-                best.insert(key, new_moves);
-                parent.insert(key, (cell, t));
+            let t_next = t + dt;
+            if new_moves < slab.best(next, t_next - req.depart) {
+                let parent_cell = (cell.y * grid.width() + cell.x) as u32;
+                slab.visit(next, t_next - req.depart, new_moves, parent_cell, t);
                 open.push(Node {
-                    f: t + dt + h,
+                    f: t_next + h,
                     moves: new_moves,
                     cell: next,
-                    t: t + dt,
+                    t: t_next,
                 });
             }
         }
     }
     None
+}
+
+/// The pre-reservation-index planner, frozen as the differential-test
+/// oracle (the routing analogue of `mns-dd`'s `NaiveFamily`): every
+/// successor check scans all planned routes via [`Route::position_at`]
+/// and the open/closed sets are hash maps keyed by `(Cell, tick)`. The
+/// production planner in the parent module must return byte-identical
+/// results; `tests/route_differential.rs` pins that equivalence on
+/// random workloads.
+pub mod reference {
+    use std::cmp::Reverse;
+    use std::collections::{BinaryHeap, HashMap};
+
+    use super::{
+        Obstacle, PendingSeed, Route, RouteError, RoutingConfig, RoutingOutcome, RoutingRequest,
+        MIN_SEPARATION,
+    };
+    use crate::geometry::{Cell, Grid};
+
+    /// [`super::route_concurrent`], planned by the oracle.
+    ///
+    /// # Errors
+    ///
+    /// See [`RouteError`].
+    pub fn route_concurrent(
+        grid: &Grid,
+        requests: &[RoutingRequest],
+        config: &RoutingConfig,
+    ) -> Result<RoutingOutcome, RouteError> {
+        route_with_environment(grid, requests, &[], &[], config)
+    }
+
+    /// [`super::route_with_environment`], planned by the oracle.
+    ///
+    /// # Errors
+    ///
+    /// See [`RouteError`].
+    pub fn route_with_environment(
+        grid: &Grid,
+        requests: &[RoutingRequest],
+        obstacles: &[Obstacle],
+        degraded: &[Cell],
+        config: &RoutingConfig,
+    ) -> Result<RoutingOutcome, RouteError> {
+        for r in requests {
+            if !grid.contains(r.start) || !grid.contains(r.goal) {
+                return Err(RouteError::BadEndpoint(r.id));
+            }
+            if let Some(d) = r.deadline {
+                if r.depart + r.start.manhattan(r.goal) as u32 > d {
+                    return Err(RouteError::DeadlineMissed(r.id));
+                }
+            }
+        }
+
+        let mut order: Vec<usize> = (0..requests.len()).collect();
+        order.sort_by_key(|&i| Reverse(requests[i].start.manhattan(requests[i].goal)));
+
+        let degraded: std::collections::HashSet<Cell> = degraded.iter().copied().collect();
+
+        let mut rotations = 0;
+        loop {
+            match try_order(grid, requests, obstacles, &degraded, &order, config) {
+                Ok(mut routes_by_index) => {
+                    let routes: Vec<Route> = (0..requests.len())
+                        .map(|i| routes_by_index.remove(&i).expect("route planned"))
+                        .collect();
+                    for (r, req) in routes.iter().zip(requests) {
+                        if let Some(d) = req.deadline {
+                            if r.arrival() > d {
+                                return Err(RouteError::DeadlineMissed(req.id));
+                            }
+                        }
+                    }
+                    let makespan = routes.iter().map(Route::arrival).max().unwrap_or(0);
+                    let total_moves = routes.iter().map(Route::moves).sum();
+                    let total_stalls = routes.iter().map(Route::stalls).sum();
+                    return Ok(RoutingOutcome {
+                        routes,
+                        makespan,
+                        total_moves,
+                        total_stalls,
+                        rotations,
+                    });
+                }
+                Err(failed_pos) => {
+                    rotations += 1;
+                    if rotations > config.max_priority_rotations {
+                        return Err(RouteError::Unroutable(requests[order[failed_pos]].id));
+                    }
+                    let failed = order.remove(failed_pos);
+                    order.insert(0, failed);
+                }
+            }
+        }
+    }
+
+    fn try_order(
+        grid: &Grid,
+        requests: &[RoutingRequest],
+        obstacles: &[Obstacle],
+        degraded: &std::collections::HashSet<Cell>,
+        order: &[usize],
+        config: &RoutingConfig,
+    ) -> Result<HashMap<usize, Route>, usize> {
+        let mut planned: Vec<(Route, Option<u32>)> = Vec::new();
+        let mut by_index = HashMap::new();
+        for (pos, &idx) in order.iter().enumerate() {
+            let req = &requests[idx];
+            let pending: Vec<PendingSeed> = order[pos + 1..]
+                .iter()
+                .map(|&j| PendingSeed {
+                    cell: requests[j].start,
+                    depart: requests[j].depart,
+                    merge_group: requests[j].merge_group,
+                })
+                .collect();
+            match astar(grid, req, obstacles, degraded, &planned, &pending, config) {
+                Some(route) => {
+                    planned.push((route.clone(), req.merge_group));
+                    by_index.insert(idx, route);
+                }
+                None => return Err(pos),
+            }
+        }
+        Ok(by_index)
+    }
+
+    /// Is occupying `next` at `t + 1` compatible with every already-planned
+    /// route, under the configured lookahead?
+    ///
+    /// All rules reduce to conditions on the *destination* cell: being at
+    /// `next` at time `τ = t + 1` requires staying ≥ 2 (Chebyshev) from a
+    /// planned droplet's position at `τ` (static rule), at `τ − 1` (our move
+    /// into a cell it is vacating) and at `τ + 1` (its move into a cell next
+    /// to us). Checking the last condition here — at the transition that
+    /// *enters* the cell — is essential: checking it one step later would
+    /// reject every successor of an already-doomed state instead of pruning
+    /// the doomed state itself.
+    fn move_ok(
+        next: Cell,
+        t: u32,
+        planned: &[(Route, Option<u32>)],
+        pending: &[PendingSeed],
+        my_group: Option<u32>,
+        lookahead: u32,
+    ) -> bool {
+        for p in pending {
+            if my_group.is_some() && p.merge_group == my_group {
+                continue;
+            }
+            let tau = t + 1;
+            let near = if lookahead == 0 {
+                tau == p.depart
+            } else {
+                tau + 1 >= p.depart && tau <= p.depart + 1
+            };
+            if near && next.chebyshev(p.cell) < MIN_SEPARATION {
+                return false;
+            }
+        }
+        for (r, group) in planned {
+            // Merge partners are exempt from mutual spacing: early contact
+            // is an early (intended) merge.
+            if my_group.is_some() && *group == my_group {
+                continue;
+            }
+            // Static rule at the arrival instant.
+            if let Some(p) = r.position_at(t + 1) {
+                if next.chebyshev(p) < MIN_SEPARATION {
+                    return false;
+                }
+            }
+            if lookahead >= 1 {
+                // Dynamic rule: our new cell versus their old cell…
+                if let Some(p) = r.position_at(t) {
+                    if next.chebyshev(p) < MIN_SEPARATION {
+                        return false;
+                    }
+                }
+                // …and their next move versus our new cell.
+                if let Some(p) = r.position_at(t + 2) {
+                    if next.chebyshev(p) < MIN_SEPARATION {
+                        return false;
+                    }
+                }
+            }
+            if lookahead >= 2 {
+                // Anticipatory: stay clear of where they will be after
+                // that.
+                if let Some(p) = r.position_at(t + 3) {
+                    if next.chebyshev(p) < MIN_SEPARATION {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Space-time A\* for one droplet against planned reservations.
+    fn astar(
+        grid: &Grid,
+        req: &RoutingRequest,
+        obstacles: &[Obstacle],
+        degraded: &std::collections::HashSet<Cell>,
+        planned: &[(Route, Option<u32>)],
+        pending: &[PendingSeed],
+        config: &RoutingConfig,
+    ) -> Option<Route> {
+        #[derive(PartialEq, Eq)]
+        struct Node {
+            f: u32,
+            moves: u32,
+            cell: Cell,
+            t: u32,
+        }
+        impl Ord for Node {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                other
+                    .f
+                    .cmp(&self.f)
+                    .then_with(|| other.moves.cmp(&self.moves))
+                    .then_with(|| other.t.cmp(&self.t))
+                    .then_with(|| other.cell.cmp(&self.cell))
+            }
+        }
+        impl PartialOrd for Node {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let blocked = |cell: Cell, t: u32| {
+            obstacles
+                .iter()
+                .any(|o| !req.ignore_tags.contains(&o.tag) && o.blocks(cell, t))
+        };
+
+        let relative_cap = req.depart.saturating_add(config.max_time);
+        let horizon = req.deadline.unwrap_or(relative_cap).min(relative_cap);
+        let h0 = req.start.manhattan(req.goal) as u32;
+        if req.depart + h0 > horizon {
+            return None;
+        }
+
+        let mut open = BinaryHeap::new();
+        let mut best: HashMap<(Cell, u32), u32> = HashMap::new();
+        let mut parent: HashMap<(Cell, u32), (Cell, u32)> = HashMap::new();
+
+        let emergence_legal = {
+            let t0 = req.depart;
+            let lo = t0.saturating_sub(1);
+            let hi = t0 + if config.lookahead >= 2 { 2 } else { 1 };
+            !blocked(req.start, t0)
+                && planned.iter().all(|(r, group)| {
+                    if req.merge_group.is_some() && *group == req.merge_group {
+                        return true;
+                    }
+                    (lo..=hi).all(|tt| match r.position_at(tt) {
+                        Some(p) => req.start.chebyshev(p) >= MIN_SEPARATION,
+                        None => true,
+                    })
+                })
+                && pending.iter().all(|p| {
+                    if req.merge_group.is_some() && p.merge_group == req.merge_group {
+                        return true;
+                    }
+                    t0 + 1 < p.depart
+                        || p.depart + 1 < t0
+                        || req.start.chebyshev(p.cell) >= MIN_SEPARATION
+                })
+        };
+        if emergence_legal {
+            open.push(Node {
+                f: req.depart + h0,
+                moves: 0,
+                cell: req.start,
+                t: req.depart,
+            });
+            best.insert((req.start, req.depart), 0);
+        }
+
+        while let Some(Node { cell, t, moves, .. }) = open.pop() {
+            if moves > *best.get(&(cell, t)).unwrap_or(&u32::MAX) {
+                continue; // stale heap entry
+            }
+            if cell == req.goal && t >= req.earliest_arrival.unwrap_or(0) {
+                let mut path = vec![cell];
+                let mut cur = (cell, t);
+                while let Some(&prev) = parent.get(&cur) {
+                    for _ in 1..(cur.1 - prev.1) {
+                        path.push(cur.0);
+                    }
+                    path.push(prev.0);
+                    cur = prev;
+                }
+                path.reverse();
+                let depart = t - (path.len() as u32 - 1);
+                return Some(Route {
+                    id: req.id,
+                    depart,
+                    path,
+                });
+            }
+            if t >= horizon {
+                continue;
+            }
+            let candidates = std::iter::once(cell).chain(grid.neighbors(cell));
+            for next in candidates {
+                let h = next.manhattan(req.goal) as u32;
+                let dt = if next != cell && degraded.contains(&next) {
+                    2
+                } else {
+                    1
+                };
+                if t + dt + h > horizon {
+                    continue;
+                }
+                if (1..=dt).any(|d| blocked(next, t + d)) {
+                    continue;
+                }
+                if !(0..dt).all(|d| {
+                    move_ok(
+                        next,
+                        t + d,
+                        planned,
+                        pending,
+                        req.merge_group,
+                        config.lookahead,
+                    )
+                }) {
+                    continue;
+                }
+                let new_moves = moves + u32::from(next != cell);
+                let key = (next, t + dt);
+                let known = best.get(&key).copied().unwrap_or(u32::MAX);
+                if new_moves < known {
+                    best.insert(key, new_moves);
+                    parent.insert(key, (cell, t));
+                    open.push(Node {
+                        f: t + dt + h,
+                        moves: new_moves,
+                        cell: next,
+                        t: t + dt,
+                    });
+                }
+            }
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -906,5 +1635,47 @@ mod tests {
         ];
         let out = route_concurrent(&g, &reqs, &RoutingConfig::default()).unwrap();
         assert_eq!(out.rotations, 0, "disjoint rows need no rotation");
+    }
+
+    #[test]
+    fn config_builder_chains() {
+        let cfg = RoutingConfig::new()
+            .max_time(128)
+            .lookahead(2)
+            .max_priority_rotations(4);
+        let literal = RoutingConfig {
+            max_time: 128,
+            lookahead: 2,
+            max_priority_rotations: 4,
+        };
+        assert_eq!(cfg, literal);
+        assert_eq!(RoutingConfig::new(), RoutingConfig::default());
+    }
+
+    #[test]
+    fn matches_reference_on_contended_instances() {
+        // The reservation index must reproduce the oracle exactly —
+        // routes, makespan, stalls and rotation count — including on
+        // instances that force detours, merge-group traffic and degraded
+        // dwells. The broad randomized differential lives in
+        // tests/route_differential.rs; this is the in-crate smoke.
+        let g = grid(12, 12);
+        let reqs = vec![
+            RoutingRequest::new(0, Cell::new(0, 5), Cell::new(11, 5)),
+            RoutingRequest::new(1, Cell::new(11, 6), Cell::new(0, 6)),
+            RoutingRequest::new(2, Cell::new(5, 0), Cell::new(5, 11)).departing(2),
+            RoutingRequest::new(3, Cell::new(0, 0), Cell::new(6, 6)).in_merge_group(9),
+            RoutingRequest::new(4, Cell::new(11, 0), Cell::new(6, 6))
+                .in_merge_group(9)
+                .arriving_no_earlier_than(14),
+        ];
+        let walls = [Obstacle::region(Cell::new(8, 8), Cell::new(9, 9), 0, 40, 3)];
+        let degraded = [Cell::new(3, 5), Cell::new(3, 6)];
+        for lookahead in [0u32, 1, 2] {
+            let cfg = RoutingConfig::new().lookahead(lookahead);
+            let fast = route_with_environment(&g, &reqs, &walls, &degraded, &cfg);
+            let oracle = reference::route_with_environment(&g, &reqs, &walls, &degraded, &cfg);
+            assert_eq!(fast, oracle, "lookahead {lookahead}");
+        }
     }
 }

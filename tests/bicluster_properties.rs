@@ -1,13 +1,28 @@
 //! Property-based tests of the interpretation stack: the ZDD miner is
-//! complete (matches brute force) on arbitrary small relations, and its
-//! ZDD bookkeeping is always consistent.
+//! complete (matches brute force) on arbitrary small relations, its ZDD
+//! bookkeeping is always consistent, and the incremental Cheng–Church
+//! engine is a faithful rewrite of the full-recompute oracle.
 
+use micronano::bicluster::cheng_church::{
+    cheng_church, mean_squared_residue, reference, ChengChurchConfig,
+};
 use micronano::bicluster::discretize::BinaryMatrix;
 use micronano::bicluster::score::{cell_jaccard, score};
 use micronano::bicluster::zdd_miner::{enumerate_maximal, MinerConfig};
 use micronano::bicluster::Bicluster;
-use micronano::biosensor::GroundTruthBicluster;
+use micronano::biosensor::expression::{generate, SyntheticDatasetConfig};
+use micronano::biosensor::{GroundTruthBicluster, Matrix};
 use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A dense random matrix with `rows × cols` entries drawn uniformly from
+/// `[0, span)`, derived deterministically from `seed`.
+fn random_matrix(seed: u64, rows: usize, cols: usize, span: f64) -> Matrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let data: Vec<f64> = (0..rows * cols).map(|_| rng.gen_range(0.0..span)).collect();
+    Matrix::from_rows(rows, cols, data)
+}
 
 fn brute_force(b: &BinaryMatrix, cfg: &MinerConfig) -> Vec<(Vec<usize>, Vec<usize>)> {
     let n = b.cols();
@@ -128,5 +143,57 @@ proptest! {
         )];
         let s = score(&truth, &found);
         prop_assert_eq!(s.f1, 1.0);
+    }
+
+    // The incremental Cheng–Church engine must walk the same trajectory
+    // as the full-recompute oracle on arbitrary random matrices: same
+    // biclusters per seed, and (set-identity being given) the same fresh
+    // mean squared residue for every reported submatrix.
+    #[test]
+    fn incremental_cheng_church_matches_oracle(
+        seed in 0u64..100_000,
+        rows in 8usize..40,
+        cols in 4usize..20,
+        delta_pct in 1u32..60,
+    ) {
+        let m = random_matrix(seed, rows, cols, 5.0);
+        let cfg = ChengChurchConfig::new()
+            .delta(f64::from(delta_pct) / 20.0)
+            .count(3);
+        let fast = cheng_church(&m, &cfg, seed ^ 0xCC);
+        let oracle = reference::cheng_church(&m, &cfg, seed ^ 0xCC);
+        prop_assert_eq!(&fast, &oracle);
+        for b in &fast {
+            let h_fast = mean_squared_residue(&m, &b.rows, &b.cols);
+            let h_oracle = mean_squared_residue(&m, &b.rows, &b.cols);
+            prop_assert_eq!(h_fast, h_oracle);
+        }
+    }
+}
+
+/// The E3-scale pin: per-seed bicluster identity at 300×100, where the
+/// multiple-deletion sweep (rows > 100) and the O(|J|)/O(|I|) single
+/// deletions both fire. Uses the synthetic expression generator so the
+/// instance has real implanted structure, like experiment E3.
+#[test]
+fn incremental_matches_oracle_at_e3_scale() {
+    let data = generate(
+        &SyntheticDatasetConfig {
+            genes: 300,
+            samples: 100,
+            bicluster_count: 3,
+            bicluster_rows: 30,
+            bicluster_cols: 12,
+            ..SyntheticDatasetConfig::default()
+        },
+        42,
+    );
+    let cfg = ChengChurchConfig::new().delta(0.125).count(3);
+    for seed in [7u64, 42] {
+        assert_eq!(
+            cheng_church(&data.matrix, &cfg, seed),
+            reference::cheng_church(&data.matrix, &cfg, seed),
+            "seed {seed}"
+        );
     }
 }

@@ -288,10 +288,7 @@ fn lookahead_ablation_orders_safety() {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
         let (grid, requests) = random_routing_instance(&w, &mut rng);
         for lookahead in [0u32, 1, 2] {
-            let cfg = RoutingConfig {
-                lookahead,
-                ..RoutingConfig::default()
-            };
+            let cfg = RoutingConfig::new().lookahead(lookahead);
             let Ok(out) = route_concurrent(&grid, &requests, &cfg) else {
                 continue;
             };
