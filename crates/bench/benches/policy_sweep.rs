@@ -1,0 +1,43 @@
+//! A9 kernel: composable policy engine vs the inline reference loop.
+//!
+//! Two questions: what does routing the duty decision through the
+//! compiled `mns-policy` evaluator cost against the historical inline
+//! match (same physics, same float ops), and how does that cost grow
+//! with combinator depth?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mns_policy::PolicyExpr;
+use mns_wsn::harvest::{simulate_harvesting, simulate_policy, DutyPolicy, HarvestConfig};
+
+fn bench_policy_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_sweep");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let cfg = HarvestConfig::default();
+
+    // Reference inline loop (the baseline the engine must not regress).
+    let reference = DutyPolicy::EnergyNeutral { alpha: 0.01 };
+    group.bench_function("reference/energy-neutral", |b| {
+        b.iter(|| simulate_harvesting(reference, &cfg));
+    });
+
+    // The same policy through the compiled evaluator, then composites of
+    // increasing depth.
+    let neutral = PolicyExpr::energy_neutral(0.01).unwrap();
+    let derated = PolicyExpr::derate(neutral.clone(), 0.05, 0.5).unwrap();
+    let stacked = PolicyExpr::clamp(
+        PolicyExpr::hysteresis(0.25, 0.6, derated.clone(), PolicyExpr::Fixed(0.05)).unwrap(),
+        0.02,
+        1.0,
+    )
+    .unwrap();
+    for (depth, expr) in [(1u32, &neutral), (2, &derated), (4, &stacked)] {
+        group.bench_with_input(BenchmarkId::new("engine", depth), expr, |b, expr| {
+            b.iter(|| simulate_policy(expr, &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy_sweep);
+criterion_main!(benches);

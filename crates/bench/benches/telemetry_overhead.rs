@@ -16,7 +16,7 @@ use mns_core::runner::{
     RunnerConfig, Scenario, ScenarioOutcome, WsnScenario,
 };
 use mns_noc::graph::CommGraph;
-use mns_wsn::harvest::DutyPolicy;
+use mns_policy::PolicyExpr;
 use mns_wsn::protocol::Protocol;
 
 fn mixed_batch() -> Vec<Scenario> {
@@ -46,9 +46,10 @@ fn mixed_batch() -> Vec<Scenario> {
             failure_rate: 0.0,
             max_rounds: 100,
             seed: 3,
+            policies: None,
         }),
         Scenario::Harvest(HarvestScenario {
-            policy: DutyPolicy::EnergyNeutral { alpha: 0.01 },
+            policy: PolicyExpr::EnergyNeutral { alpha: 0.01 },
             days: 3,
             cloudiness: 0.4,
             seed: 5,

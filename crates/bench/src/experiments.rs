@@ -661,7 +661,7 @@ pub fn e9_wsn_lifetime(seed: u64) -> Vec<Table> {
             Protocol::cluster(0.1, true),
             &LifetimeConfig {
                 failure_rate: rate,
-                ..base
+                ..base.clone()
             },
         );
         f.row_owned(vec![
@@ -683,7 +683,7 @@ pub fn e9_wsn_lifetime(seed: u64) -> Vec<Table> {
             } else {
                 None
             },
-            ..base
+            ..base.clone()
         };
         let s = simulate_lifetime(&field, Protocol::cluster(0.1, true), &cfg);
         h.row_owned(vec![

@@ -58,8 +58,9 @@ use mns_noc::graph::CommGraph;
 use mns_noc::power::{area_proxy, PowerModel};
 use mns_noc::routing::compute_routes;
 use mns_noc::synthesis::{synthesize, SynthesisConfig};
+use mns_policy::{PolicyAssignment, PolicyExpr};
 use mns_wsn::field::Field;
-use mns_wsn::harvest::{simulate_harvesting, DutyPolicy, HarvestConfig, SolarModel};
+use mns_wsn::harvest::{simulate_policy, HarvestConfig, SolarModel};
 use mns_wsn::protocol::Protocol;
 use mns_wsn::sim::{simulate_lifetime, LifetimeConfig};
 
@@ -151,6 +152,81 @@ fn canon_assay(c: &mut Canon, kind: AssayKind) {
     }
 }
 
+/// Canonical encoding of a [`PolicyExpr`] into a fingerprint: one tag
+/// byte per variant, children recursively. The primitive tags (0–2) and
+/// payloads are byte-identical to the historical `DutyPolicy` encoding,
+/// so every pre-engine Harvest fingerprint is preserved.
+fn canon_policy(c: &mut Canon, p: &PolicyExpr) {
+    match p {
+        PolicyExpr::Fixed(d) => {
+            c.byte(0);
+            c.f64(*d);
+        }
+        PolicyExpr::Greedy {
+            threshold,
+            duty_high,
+            duty_low,
+        } => {
+            c.byte(1);
+            c.f64(*threshold);
+            c.f64(*duty_high);
+            c.f64(*duty_low);
+        }
+        PolicyExpr::EnergyNeutral { alpha } => {
+            c.byte(2);
+            c.f64(*alpha);
+        }
+        PolicyExpr::Forecast { alpha } => {
+            c.byte(3);
+            c.f64(*alpha);
+        }
+        PolicyExpr::Derate { inner, fade, floor } => {
+            c.byte(4);
+            c.f64(*fade);
+            c.f64(*floor);
+            canon_policy(c, inner);
+        }
+        PolicyExpr::Hysteresis { low, high, on, off } => {
+            c.byte(5);
+            c.f64(*low);
+            c.f64(*high);
+            canon_policy(c, on);
+            canon_policy(c, off);
+        }
+        PolicyExpr::Scheduled { pieces } => {
+            c.byte(6);
+            c.usize(pieces.len());
+            for (start, piece) in pieces {
+                c.u64(*start);
+                canon_policy(c, piece);
+            }
+        }
+        PolicyExpr::Clamp { inner, lo, hi } => {
+            c.byte(7);
+            c.f64(*lo);
+            c.f64(*hi);
+            canon_policy(c, inner);
+        }
+    }
+}
+
+/// Canonical encoding of a [`PolicyAssignment`].
+fn canon_assignment(c: &mut Canon, a: &PolicyAssignment) {
+    match a {
+        PolicyAssignment::Uniform(p) => {
+            c.byte(1);
+            canon_policy(c, p);
+        }
+        PolicyAssignment::RoundRobin(ps) => {
+            c.byte(2);
+            c.usize(ps.len());
+            for p in ps {
+                canon_policy(c, p);
+            }
+        }
+    }
+}
+
 /// A microfluidic compile scenario: one synthetic assay family
 /// ([`AssayKind`]) compiled onto a square array, optionally around a
 /// deterministic dead-electrode fault map.
@@ -209,13 +285,19 @@ pub struct WsnScenario {
     pub max_rounds: u64,
     /// Field and simulation seed.
     pub seed: u64,
+    /// Optional per-node run-time energy-management policies. `None`
+    /// reproduces the historical always-active behaviour (and the
+    /// historical fingerprint/wire/label bytes) exactly.
+    pub policies: Option<PolicyAssignment>,
 }
 
 /// A solar-harvesting policy simulation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HarvestScenario {
-    /// Energy-management policy under test.
-    pub policy: DutyPolicy,
+    /// Energy-management policy under test — any composable
+    /// [`PolicyExpr`]; the primitive expressions evaluate byte-identical
+    /// to the historical `DutyPolicy` enum.
+    pub policy: PolicyExpr,
     /// Simulated days.
     pub days: u32,
     /// Weather severity in `[0, 1]`.
@@ -332,29 +414,15 @@ impl Scenario {
                 c.f64(s.failure_rate);
                 c.u64(s.max_rounds);
                 c.u64(s.seed);
+                // Appended only when present: `None` keeps the exact
+                // historical encoding (and therefore fingerprint).
+                if let Some(assignment) = &s.policies {
+                    canon_assignment(&mut c, assignment);
+                }
             }
             Scenario::Harvest(s) => {
                 c.byte(5);
-                match s.policy {
-                    DutyPolicy::Fixed(d) => {
-                        c.byte(0);
-                        c.f64(d);
-                    }
-                    DutyPolicy::Greedy {
-                        threshold,
-                        duty_high,
-                        duty_low,
-                    } => {
-                        c.byte(1);
-                        c.f64(threshold);
-                        c.f64(duty_high);
-                        c.f64(duty_low);
-                    }
-                    DutyPolicy::EnergyNeutral { alpha } => {
-                        c.byte(2);
-                        c.f64(alpha);
-                    }
-                }
+                canon_policy(&mut c, &s.policy);
                 c.u64(u64::from(s.days));
                 c.f64(s.cloudiness);
                 c.u64(s.seed);
@@ -417,14 +485,23 @@ impl Scenario {
                 s.max_cluster,
                 s.shortcuts
             ),
-            Scenario::WsnLifetime(s) => format!(
-                "wsn/{}-n{}-r{}-f{}pm-s{}",
-                s.protocol.label(),
-                s.nodes,
-                s.max_rounds,
-                (s.failure_rate * 1000.0).round() as u64,
-                s.seed
-            ),
+            Scenario::WsnLifetime(s) => {
+                // Heterogeneous-policy runs get a suffix; `None` keeps
+                // the exact historical label bytes.
+                let policy_suffix = match &s.policies {
+                    None => String::new(),
+                    Some(a) => format!("-p{}", a.label()),
+                };
+                format!(
+                    "wsn/{}-n{}-r{}-f{}pm-s{}{}",
+                    s.protocol.label(),
+                    s.nodes,
+                    s.max_rounds,
+                    (s.failure_rate * 1000.0).round() as u64,
+                    s.seed,
+                    policy_suffix
+                )
+            }
             Scenario::Harvest(s) => format!(
                 "harvest/{}-d{}-c{}pm-s{}",
                 s.policy.label(),
@@ -556,6 +633,7 @@ impl Scenario {
                         max_rounds: s.max_rounds,
                         failure_rate: s.failure_rate,
                         seed: s.seed,
+                        policies: s.policies.clone(),
                         ..LifetimeConfig::default()
                     },
                 );
@@ -570,8 +648,8 @@ impl Scenario {
                 }
             }
             Scenario::Harvest(s) => {
-                let stats = simulate_harvesting(
-                    s.policy,
+                let stats = simulate_policy(
+                    &s.policy,
                     &HarvestConfig {
                         days: s.days,
                         seed: s.seed,
@@ -1383,10 +1461,10 @@ pub fn default_workers() -> usize {
 ///
 /// ```
 /// use mns_core::runner::{Runner, RunnerConfig, Scenario, HarvestScenario};
-/// use mns_wsn::harvest::DutyPolicy;
+/// use mns_policy::PolicyExpr;
 ///
 /// let batch = vec![Scenario::Harvest(HarvestScenario {
-///     policy: DutyPolicy::Fixed(0.3),
+///     policy: PolicyExpr::Fixed(0.3),
 ///     days: 2,
 ///     cloudiness: 0.4,
 ///     seed: 1,
@@ -1962,6 +2040,7 @@ pub fn conformance_corpus(seed: u64) -> Vec<Scenario> {
             failure_rate: 0.0,
             max_rounds: 600,
             seed,
+            policies: None,
         }),
         Scenario::WsnLifetime(WsnScenario {
             nodes: 60,
@@ -1970,16 +2049,62 @@ pub fn conformance_corpus(seed: u64) -> Vec<Scenario> {
             failure_rate: 0.002,
             max_rounds: 600,
             seed,
+            policies: None,
+        }),
+        // WSN: a heterogeneous round-robin policy mix sourcing through
+        // rotating aggregation heads (policy-engine coverage).
+        Scenario::WsnLifetime(WsnScenario {
+            nodes: 60,
+            side: 120.0,
+            protocol: Protocol::cluster(0.1, true),
+            failure_rate: 0.0,
+            max_rounds: 600,
+            seed,
+            policies: Some(PolicyAssignment::RoundRobin(vec![
+                PolicyExpr::Fixed(1.0),
+                PolicyExpr::Greedy {
+                    threshold: 0.5,
+                    duty_high: 1.0,
+                    duty_low: 0.25,
+                },
+            ])),
         }),
         // Harvesting: the two extreme policies.
         Scenario::Harvest(HarvestScenario {
-            policy: DutyPolicy::Fixed(0.3),
+            policy: PolicyExpr::Fixed(0.3),
             days: 10,
             cloudiness: 0.4,
             seed,
         }),
         Scenario::Harvest(HarvestScenario {
-            policy: DutyPolicy::EnergyNeutral { alpha: 0.01 },
+            policy: PolicyExpr::EnergyNeutral { alpha: 0.01 },
+            days: 10,
+            cloudiness: 0.4,
+            seed,
+        }),
+        // Harvesting: composed policy expressions (forecast-aware EWMA
+        // with health derating and a duty floor; hysteresis switch).
+        Scenario::Harvest(HarvestScenario {
+            policy: PolicyExpr::Clamp {
+                inner: Box::new(PolicyExpr::Derate {
+                    inner: Box::new(PolicyExpr::Forecast { alpha: 0.2 }),
+                    fade: 0.05,
+                    floor: 0.5,
+                }),
+                lo: 0.05,
+                hi: 0.9,
+            },
+            days: 10,
+            cloudiness: 0.4,
+            seed,
+        }),
+        Scenario::Harvest(HarvestScenario {
+            policy: PolicyExpr::Hysteresis {
+                low: 0.25,
+                high: 0.6,
+                on: Box::new(PolicyExpr::EnergyNeutral { alpha: 0.01 }),
+                off: Box::new(PolicyExpr::Fixed(0.05)),
+            },
             days: 10,
             cloudiness: 0.4,
             seed,
@@ -2006,7 +2131,7 @@ mod tests {
     fn small_batch() -> Vec<Scenario> {
         vec![
             Scenario::Harvest(HarvestScenario {
-                policy: DutyPolicy::Fixed(0.4),
+                policy: PolicyExpr::Fixed(0.4),
                 days: 2,
                 cloudiness: 0.3,
                 seed: 5,
@@ -2018,6 +2143,7 @@ mod tests {
                 failure_rate: 0.0,
                 max_rounds: 150,
                 seed: 5,
+                policies: None,
             }),
             Scenario::Knockout(KnockoutScenario {
                 model: GrnModel::THelper,
@@ -2107,13 +2233,13 @@ mod tests {
     #[test]
     fn fingerprint_sees_every_field() {
         let a = Scenario::Harvest(HarvestScenario {
-            policy: DutyPolicy::Fixed(0.4),
+            policy: PolicyExpr::Fixed(0.4),
             days: 2,
             cloudiness: 0.3,
             seed: 5,
         });
         let b = Scenario::Harvest(HarvestScenario {
-            policy: DutyPolicy::Fixed(0.4),
+            policy: PolicyExpr::Fixed(0.4),
             days: 2,
             cloudiness: 0.3,
             seed: 6,

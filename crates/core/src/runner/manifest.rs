@@ -30,7 +30,7 @@ use std::fmt;
 use std::io::{self, Read, Write};
 
 use mns_noc::graph::{CommGraph, Flow};
-use mns_wsn::harvest::DutyPolicy;
+use mns_policy::{PolicyAssignment, PolicyExpr, MAX_POLICY_DEPTH};
 use mns_wsn::protocol::Protocol;
 
 use super::{
@@ -150,6 +150,12 @@ impl<'a> Tokens<'a> {
             Some(t) => Err(format!("trailing token `{t}`")),
         }
     }
+
+    /// Like [`Tokens::next`], but end-of-record is `None` instead of an
+    /// error — for optional record suffixes.
+    fn opt_next(&mut self) -> Option<&'a str> {
+        self.iter.next()
+    }
 }
 
 fn hex_digit(b: u8) -> Option<u8> {
@@ -213,6 +219,151 @@ fn decode_assay_kind(t: &mut Tokens) -> Result<AssayKind, String> {
     }
 }
 
+/// Encodes a [`PolicyExpr`] as prefix-notation tokens. The primitive
+/// tokens (`fixed`, `greedy`, `neutral`) and their payload layout are
+/// byte-identical to the historical `DutyPolicy` encoding, so every
+/// pre-engine harvest record is reproduced exactly; combinators nest
+/// recursively after their scalar parameters.
+fn encode_policy(p: &PolicyExpr, out: &mut String) {
+    match p {
+        PolicyExpr::Fixed(d) => {
+            out.push_str(&format!("fixed {}", bits(*d)));
+        }
+        PolicyExpr::Greedy {
+            threshold,
+            duty_high,
+            duty_low,
+        } => {
+            out.push_str(&format!(
+                "greedy {} {} {}",
+                bits(*threshold),
+                bits(*duty_high),
+                bits(*duty_low)
+            ));
+        }
+        PolicyExpr::EnergyNeutral { alpha } => {
+            out.push_str(&format!("neutral {}", bits(*alpha)));
+        }
+        PolicyExpr::Forecast { alpha } => {
+            out.push_str(&format!("forecast {}", bits(*alpha)));
+        }
+        PolicyExpr::Derate { inner, fade, floor } => {
+            out.push_str(&format!("derate {} {} ", bits(*fade), bits(*floor)));
+            encode_policy(inner, out);
+        }
+        PolicyExpr::Hysteresis { low, high, on, off } => {
+            out.push_str(&format!("hyst {} {} ", bits(*low), bits(*high)));
+            encode_policy(on, out);
+            out.push(' ');
+            encode_policy(off, out);
+        }
+        PolicyExpr::Scheduled { pieces } => {
+            out.push_str(&format!("sched {}", pieces.len()));
+            for (start, piece) in pieces {
+                out.push_str(&format!(" {start} "));
+                encode_policy(piece, out);
+            }
+        }
+        PolicyExpr::Clamp { inner, lo, hi } => {
+            out.push_str(&format!("clamp {} {} ", bits(*lo), bits(*hi)));
+            encode_policy(inner, out);
+        }
+    }
+}
+
+/// Decodes the policy tokens written by [`encode_policy`]. Recursion
+/// depth is bounded *during* parsing — before any validation pass —
+/// so an adversarial record cannot overflow the stack, and the decoded
+/// expression is re-validated by the caller at the record boundary.
+fn decode_policy(t: &mut Tokens, depth: usize) -> Result<PolicyExpr, String> {
+    if depth >= MAX_POLICY_DEPTH {
+        return Err(format!("policy nests deeper than {MAX_POLICY_DEPTH}"));
+    }
+    match t.next()? {
+        "fixed" => Ok(PolicyExpr::Fixed(t.f64()?)),
+        "greedy" => Ok(PolicyExpr::Greedy {
+            threshold: t.f64()?,
+            duty_high: t.f64()?,
+            duty_low: t.f64()?,
+        }),
+        "neutral" => Ok(PolicyExpr::EnergyNeutral { alpha: t.f64()? }),
+        "forecast" => Ok(PolicyExpr::Forecast { alpha: t.f64()? }),
+        "derate" => {
+            let fade = t.f64()?;
+            let floor = t.f64()?;
+            Ok(PolicyExpr::Derate {
+                inner: Box::new(decode_policy(t, depth + 1)?),
+                fade,
+                floor,
+            })
+        }
+        "hyst" => {
+            let low = t.f64()?;
+            let high = t.f64()?;
+            let on = Box::new(decode_policy(t, depth + 1)?);
+            let off = Box::new(decode_policy(t, depth + 1)?);
+            Ok(PolicyExpr::Hysteresis { low, high, on, off })
+        }
+        "sched" => {
+            let n = t.usize()?;
+            let mut pieces = Vec::with_capacity(n.min(DECODE_CAPACITY_CAP));
+            for _ in 0..n {
+                let start = t.u64()?;
+                pieces.push((start, decode_policy(t, depth + 1)?));
+            }
+            Ok(PolicyExpr::Scheduled { pieces })
+        }
+        "clamp" => {
+            let lo = t.f64()?;
+            let hi = t.f64()?;
+            Ok(PolicyExpr::Clamp {
+                inner: Box::new(decode_policy(t, depth + 1)?),
+                lo,
+                hi,
+            })
+        }
+        p => Err(format!("unknown harvest policy `{p}`")),
+    }
+}
+
+/// Encodes a [`PolicyAssignment`] suffix: `uniform <policy>` or
+/// `mix <n> <policy>*`.
+fn encode_assignment(a: &PolicyAssignment, out: &mut String) {
+    match a {
+        PolicyAssignment::Uniform(p) => {
+            out.push_str("uniform ");
+            encode_policy(p, out);
+        }
+        PolicyAssignment::RoundRobin(ps) => {
+            out.push_str(&format!("mix {}", ps.len()));
+            for p in ps {
+                out.push(' ');
+                encode_policy(p, out);
+            }
+        }
+    }
+}
+
+/// Decodes the assignment tokens written by [`encode_assignment`].
+fn decode_assignment(t: &mut Tokens) -> Result<PolicyAssignment, String> {
+    let assignment = match t.next()? {
+        "uniform" => PolicyAssignment::Uniform(decode_policy(t, 0)?),
+        "mix" => {
+            let n = t.usize()?;
+            let mut ps = Vec::with_capacity(n.min(DECODE_CAPACITY_CAP));
+            for _ in 0..n {
+                ps.push(decode_policy(t, 0)?);
+            }
+            PolicyAssignment::RoundRobin(ps)
+        }
+        a => return Err(format!("unknown policy assignment `{a}`")),
+    };
+    assignment
+        .validate()
+        .map_err(|e| format!("invalid policy assignment: {e}"))?;
+    Ok(assignment)
+}
+
 /// Encodes one scenario as a single self-describing record (no newline).
 pub fn encode_scenario(scenario: &Scenario) -> String {
     match scenario {
@@ -256,30 +407,25 @@ pub fn encode_scenario(scenario: &Scenario) -> String {
                     format!("cluster {} {}", bits(p), flag(aggregate))
                 }
             };
-            format!(
+            let mut out = format!(
                 "wsn {} {} {protocol} {} {} {}",
                 s.nodes,
                 bits(s.side),
                 bits(s.failure_rate),
                 s.max_rounds,
                 s.seed
-            )
+            );
+            // Optional suffix: `None` reproduces the historical record
+            // bytes exactly, keeping committed manifests valid.
+            if let Some(assignment) = &s.policies {
+                out.push_str(" policies ");
+                encode_assignment(assignment, &mut out);
+            }
+            out
         }
         Scenario::Harvest(s) => {
-            let policy = match s.policy {
-                DutyPolicy::Fixed(d) => format!("fixed {}", bits(d)),
-                DutyPolicy::Greedy {
-                    threshold,
-                    duty_high,
-                    duty_low,
-                } => format!(
-                    "greedy {} {} {}",
-                    bits(threshold),
-                    bits(duty_high),
-                    bits(duty_low)
-                ),
-                DutyPolicy::EnergyNeutral { alpha } => format!("neutral {}", bits(alpha)),
-            };
+            let mut policy = String::new();
+            encode_policy(&s.policy, &mut policy);
             format!(
                 "harvest {policy} {} {} {}",
                 s.days,
@@ -363,26 +509,29 @@ pub fn decode_scenario(record: &str) -> Result<Scenario, String> {
                 },
                 p => return Err(format!("unknown wsn protocol `{p}`")),
             };
+            let failure_rate = t.f64()?;
+            let max_rounds = t.u64()?;
+            let seed = t.u64()?;
+            let policies = match t.opt_next() {
+                None => None,
+                Some("policies") => Some(decode_assignment(&mut t)?),
+                Some(tok) => return Err(format!("trailing token `{tok}`")),
+            };
             Scenario::WsnLifetime(WsnScenario {
                 nodes,
                 side,
                 protocol,
-                failure_rate: t.f64()?,
-                max_rounds: t.u64()?,
-                seed: t.u64()?,
+                failure_rate,
+                max_rounds,
+                seed,
+                policies,
             })
         }
         "harvest" => {
-            let policy = match t.next()? {
-                "fixed" => DutyPolicy::Fixed(t.f64()?),
-                "greedy" => DutyPolicy::Greedy {
-                    threshold: t.f64()?,
-                    duty_high: t.f64()?,
-                    duty_low: t.f64()?,
-                },
-                "neutral" => DutyPolicy::EnergyNeutral { alpha: t.f64()? },
-                p => return Err(format!("unknown harvest policy `{p}`")),
-            };
+            let policy = decode_policy(&mut t, 0)?;
+            policy
+                .validate()
+                .map_err(|e| format!("invalid harvest policy: {e}"))?;
             Scenario::Harvest(HarvestScenario {
                 policy,
                 days: t.u32()?,
@@ -954,6 +1103,171 @@ mod tests {
         // A healthy noc record still decodes.
         let ok = format!("noc 1 1 2 1 0 1 {rate}");
         assert!(decode_scenario(&ok).is_ok());
+    }
+
+    /// Representative policy expressions, primitives through deep
+    /// compositions.
+    fn policy_exprs() -> Vec<PolicyExpr> {
+        vec![
+            PolicyExpr::Fixed(0.3),
+            PolicyExpr::Greedy {
+                threshold: 0.3,
+                duty_high: 0.9,
+                duty_low: 0.05,
+            },
+            PolicyExpr::EnergyNeutral { alpha: 0.01 },
+            PolicyExpr::Forecast { alpha: 0.2 },
+            PolicyExpr::Derate {
+                inner: Box::new(PolicyExpr::Forecast { alpha: 0.2 }),
+                fade: 0.05,
+                floor: 0.5,
+            },
+            PolicyExpr::Hysteresis {
+                low: 0.25,
+                high: 0.6,
+                on: Box::new(PolicyExpr::EnergyNeutral { alpha: 0.01 }),
+                off: Box::new(PolicyExpr::Fixed(0.05)),
+            },
+            PolicyExpr::Scheduled {
+                pieces: vec![
+                    (0, PolicyExpr::Fixed(0.8)),
+                    (
+                        4,
+                        PolicyExpr::Clamp {
+                            inner: Box::new(PolicyExpr::EnergyNeutral { alpha: 0.05 }),
+                            lo: 0.05,
+                            hi: 0.9,
+                        },
+                    ),
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn every_policy_expr_round_trips_byte_identically() {
+        for policy in policy_exprs() {
+            let scenario = Scenario::Harvest(HarvestScenario {
+                policy,
+                days: 10,
+                cloudiness: 0.4,
+                seed: 42,
+            });
+            let encoded = encode_scenario(&scenario);
+            let decoded = decode_scenario(&encoded)
+                .unwrap_or_else(|m| panic!("decode `{encoded}` failed: {m}"));
+            assert_eq!(scenario, decoded, "value drift through `{encoded}`");
+            assert_eq!(scenario.fingerprint(), decoded.fingerprint());
+            assert_eq!(encoded, encode_scenario(&decoded));
+        }
+    }
+
+    #[test]
+    fn wsn_policy_assignments_round_trip_byte_identically() {
+        for policies in [
+            None,
+            Some(PolicyAssignment::Uniform(PolicyExpr::Fixed(0.5))),
+            Some(PolicyAssignment::RoundRobin(policy_exprs())),
+        ] {
+            let scenario = Scenario::WsnLifetime(WsnScenario {
+                nodes: 40,
+                side: 100.0,
+                protocol: Protocol::cluster(0.1, true),
+                failure_rate: 0.0,
+                max_rounds: 300,
+                seed: 7,
+                policies,
+            });
+            let encoded = encode_scenario(&scenario);
+            let decoded = decode_scenario(&encoded)
+                .unwrap_or_else(|m| panic!("decode `{encoded}` failed: {m}"));
+            assert_eq!(scenario, decoded, "value drift through `{encoded}`");
+            assert_eq!(scenario.fingerprint(), decoded.fingerprint());
+            assert_eq!(encoded, encode_scenario(&decoded));
+        }
+    }
+
+    #[test]
+    fn historical_harvest_tokens_are_unchanged() {
+        // The primitive wire tokens predate the policy engine; committed
+        // manifests depend on these exact bytes.
+        let enc = |p: &PolicyExpr| {
+            let mut out = String::new();
+            encode_policy(p, &mut out);
+            out
+        };
+        assert_eq!(enc(&PolicyExpr::Fixed(0.3)), format!("fixed {}", bits(0.3)));
+        assert_eq!(
+            enc(&PolicyExpr::Greedy {
+                threshold: 0.3,
+                duty_high: 0.9,
+                duty_low: 0.05
+            }),
+            format!("greedy {} {} {}", bits(0.3), bits(0.9), bits(0.05))
+        );
+        assert_eq!(
+            enc(&PolicyExpr::EnergyNeutral { alpha: 0.01 }),
+            format!("neutral {}", bits(0.01))
+        );
+    }
+
+    #[test]
+    fn adversarial_policy_records_error_instead_of_panicking() {
+        let b = bits(0.5);
+        // Unknown combinator.
+        assert!(decode_scenario(&format!("harvest warp {b} 10 {b} 1")).is_err());
+        // Out-of-range / non-finite parameters are rejected at the
+        // parse boundary, not silently clamped mid-simulation.
+        let nan = bits(f64::NAN);
+        assert!(decode_scenario(&format!("harvest fixed {nan} 10 {b} 1")).is_err());
+        let two = bits(2.0);
+        assert!(decode_scenario(&format!("harvest fixed {two} 10 {b} 1")).is_err());
+        let zero = bits(0.0);
+        assert!(decode_scenario(&format!("harvest neutral {zero} 10 {b} 1")).is_err());
+        // Malformed schedules.
+        assert!(
+            decode_scenario(&format!("harvest sched 0 10 {b} 1")).is_err(),
+            "empty schedule"
+        );
+        assert!(
+            decode_scenario(&format!("harvest sched 2 0 fixed {b} 0 fixed {b} 10 {b} 1")).is_err(),
+            "non-increasing starts"
+        );
+        // Untrusted piece counts must not drive pre-allocation.
+        assert!(decode_scenario("harvest sched 18446744073709551615 x").is_err());
+        // Nesting beyond MAX_POLICY_DEPTH fails during parsing — before
+        // recursion can threaten the stack.
+        let mut deep = String::new();
+        for _ in 0..64 {
+            deep.push_str(&format!("clamp {zero} {b} "));
+        }
+        deep.push_str(&format!("fixed {b}"));
+        assert!(decode_scenario(&format!("harvest {deep} 10 {b} 1")).is_err());
+        // Truncated inner policy.
+        assert!(decode_scenario(&format!("harvest derate {b} {b} 10 {b} 1")).is_err());
+        // Bad wsn assignment suffixes.
+        let side = bits(100.0);
+        assert!(decode_scenario(&format!(
+            "wsn 10 {side} direct {zero} 100 1 policies solo fixed {b}"
+        ))
+        .is_err());
+        assert!(
+            decode_scenario(&format!("wsn 10 {side} direct {zero} 100 1 policies mix 0")).is_err()
+        );
+        assert!(decode_scenario(&format!("wsn 10 {side} direct {zero} 100 1 junk")).is_err());
+        // Healthy composed records still decode.
+        assert!(decode_scenario(&format!(
+            "harvest hyst {} {} neutral {} fixed {} 10 {b} 1",
+            bits(0.25),
+            bits(0.6),
+            bits(0.01),
+            bits(0.05)
+        ))
+        .is_ok());
+        assert!(decode_scenario(&format!(
+            "wsn 10 {side} direct {zero} 100 1 policies uniform fixed {b}"
+        ))
+        .is_ok());
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! The per-slot observation a policy decides from.
+
+/// Everything a policy may observe when choosing a duty cycle for one
+/// decision slot. The simulator fills this *before* the slot's harvest
+/// income is credited (matching the historical evaluation order), so a
+/// policy sees the battery it actually woke up with.
+///
+/// Policies must be pure over `(own state, SlotCtx)` — no clocks, no
+/// ambient RNG — so a simulation is a deterministic function of its
+/// scenario description, whichever thread or process evaluates it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotCtx {
+    /// Global slot index since the start of the run.
+    pub slot: u64,
+    /// Slot index within the current day, `0..slots_per_day`.
+    pub slot_of_day: u64,
+    /// Slots per simulated day (at least 1).
+    pub slots_per_day: u64,
+    /// Day index since the start of the run.
+    pub day: u64,
+    /// Slot length in seconds.
+    pub slot_seconds: f64,
+    /// Battery charge at the start of the slot (J), before income.
+    pub battery: f64,
+    /// Nameplate battery capacity (J).
+    pub capacity: f64,
+    /// `battery / capacity`.
+    pub battery_fraction: f64,
+    /// Harvest power available during this slot (W).
+    pub harvest_power: f64,
+    /// Power draw when active (W).
+    pub active_power: f64,
+    /// Power draw when sleeping (W).
+    pub sleep_power: f64,
+    /// Cumulative energy drawn from the battery so far (J) — the input
+    /// to cycle-depth capacity-fade models.
+    pub discharged: f64,
+}
+
+impl SlotCtx {
+    /// A representative mid-morning slot for doc tests and examples.
+    pub fn example() -> SlotCtx {
+        SlotCtx {
+            slot: 36,
+            slot_of_day: 36,
+            slots_per_day: 144,
+            day: 0,
+            slot_seconds: 600.0,
+            battery: 400.0,
+            capacity: 800.0,
+            battery_fraction: 0.5,
+            harvest_power: 0.03,
+            active_power: 0.06,
+            sleep_power: 0.001,
+            discharged: 120.0,
+        }
+    }
+}

@@ -3,13 +3,26 @@
 //! Slide 38: distributed wireless systems must eventually be autonomous —
 //! harvest energy from the environment and adapt their behaviour to it.
 //! This module provides a synthetic solar trace (diurnal sinusoid with
-//! per-day weather) and three management policies; the energy-neutral
-//! policy sets the duty cycle from an EWMA estimate of harvest power so
-//! consumption tracks income (Kansal et al.'s energy-neutral operation).
+//! per-day weather) and two evaluators over it:
+//!
+//! * [`simulate_harvesting`] — the retained **reference** loop over the
+//!   historical [`DutyPolicy`] enum (re-exported from
+//!   `mns_policy::reference`), byte-for-byte the original inline match;
+//!   the energy-neutral policy sets the duty cycle from an EWMA estimate
+//!   of harvest power so consumption tracks income (Kansal et al.'s
+//!   energy-neutral operation).
+//! * [`simulate_policy`] — the same physics driven by a composable
+//!   [`mns_policy::PolicyExpr`] engine. Differential proptests
+//!   (`tests/policy_properties.rs`) pin its primitive policies
+//!   byte-identical to the reference loop.
 
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+
+use mns_policy::{Policy, PolicyExpr, SlotCtx};
+
+pub use mns_policy::reference::DutyPolicy;
 
 /// Synthetic solar harvester model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,41 +61,6 @@ impl SolarModel {
         // Daylight = first half of the day, sinusoidal.
         let sun = (std::f64::consts::PI * phase * 2.0).sin().max(0.0);
         self.peak_power * sun * self.weather(day, seed)
-    }
-}
-
-/// Run-time energy management policies.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum DutyPolicy {
-    /// Constant duty cycle regardless of energy state.
-    Fixed(f64),
-    /// Work hard while the battery is above `threshold` (fraction of
-    /// capacity), throttle to `duty_low` below it.
-    Greedy {
-        /// Battery fraction separating the two modes.
-        threshold: f64,
-        /// Duty cycle above the threshold.
-        duty_high: f64,
-        /// Duty cycle below the threshold.
-        duty_low: f64,
-    },
-    /// Energy-neutral operation: duty = EWMA(harvest power) / active
-    /// power, clamped to `[0, 1]` and derated linearly once the battery
-    /// falls below 20 % of capacity (brown-out protection).
-    EnergyNeutral {
-        /// EWMA smoothing factor in `(0, 1]`.
-        alpha: f64,
-    },
-}
-
-impl DutyPolicy {
-    /// Short label for reports.
-    pub fn label(&self) -> &'static str {
-        match self {
-            DutyPolicy::Fixed(_) => "fixed",
-            DutyPolicy::Greedy { .. } => "greedy",
-            DutyPolicy::EnergyNeutral { .. } => "energy-neutral",
-        }
     }
 }
 
@@ -143,6 +121,14 @@ pub struct HarvestStats {
     pub harvested: f64,
     /// Battery level after the last slot (J).
     pub final_battery: f64,
+    /// Policy evaluations performed (one per slot).
+    pub policy_evals: u64,
+    /// Slots in which battery-health derating reduced the duty (always 0
+    /// for the reference loop — only the `Derate` combinator derates).
+    pub derate_events: u64,
+    /// Equivalent full battery cycles over the run: cumulative discharge
+    /// divided by nameplate capacity — the input to capacity-fade models.
+    pub cycles: f64,
 }
 
 /// Simulates one harvesting node under the given policy.
@@ -164,6 +150,7 @@ pub fn simulate_harvesting(policy: DutyPolicy, config: &HarvestConfig) -> Harves
     let mut dead_slots = 0u64;
     let mut wasted = 0.0;
     let mut harvested = 0.0;
+    let mut discharged = 0.0;
     let mut min_battery = battery;
 
     for s in 0..total_slots {
@@ -210,12 +197,15 @@ pub fn simulate_harvesting(policy: DutyPolicy, config: &HarvestConfig) -> Harves
         let sleep_only = config.sleep_power * config.slot;
         if battery >= demand {
             battery -= demand;
+            discharged += demand;
             work += duty * config.slot;
         } else {
             // Not enough to run the chosen duty: the node browns out for
             // the slot, paying at most the sleep draw.
             dead_slots += 1;
+            let before = battery;
             battery = (battery - sleep_only).max(0.0);
+            discharged += before - battery;
         }
         min_battery = min_battery.min(battery);
     }
@@ -229,6 +219,108 @@ pub fn simulate_harvesting(policy: DutyPolicy, config: &HarvestConfig) -> Harves
         min_battery,
         harvested,
         final_battery: battery,
+        policy_evals: total_slots,
+        derate_events: 0,
+        cycles: discharged / config.battery_capacity,
+    }
+}
+
+/// Simulates one harvesting node under a composable policy expression.
+///
+/// The physics — the solar trace, the income/overflow/demand/brown-out
+/// sequence and every float operation in it — replicate
+/// [`simulate_harvesting`] exactly; only the duty decision is delegated
+/// to the compiled [`mns_policy::Evaluator`]. For the primitive
+/// expressions (`Fixed`, `Greedy`, `EnergyNeutral`) the result is
+/// byte-identical to the reference loop (pinned by differential
+/// proptests), so retiring call sites onto this entry point can never
+/// change a golden digest.
+///
+/// # Panics
+///
+/// Panics on non-positive capacity, slot, or day count.
+pub fn simulate_policy(policy: &PolicyExpr, config: &HarvestConfig) -> HarvestStats {
+    let _sim_span = mns_telemetry::span("wsn.harvest");
+    assert!(config.battery_capacity > 0.0, "capacity must be positive");
+    assert!(config.slot > 0.0, "slot must be positive");
+    assert!(config.days > 0, "need at least one day");
+
+    let total_slots = ((config.days as f64 * config.solar.day_length / config.slot) as u64).max(1);
+    let slots_per_day = ((config.solar.day_length / config.slot) as u64).max(1);
+    mns_telemetry::counter_add("wsn.harvest_slots", total_slots);
+    let mut eval = policy.evaluator();
+    let mut battery = config.battery_capacity * config.initial_fraction.clamp(0.0, 1.0);
+    let mut work = 0.0;
+    let mut dead_slots = 0u64;
+    let mut wasted = 0.0;
+    let mut harvested = 0.0;
+    let mut discharged = 0.0;
+    let mut min_battery = battery;
+
+    for s in 0..total_slots {
+        let t = s as f64 * config.slot;
+        let harvest_power = config.solar.power(t, config.seed);
+        let harvest = harvest_power * config.slot;
+        harvested += harvest;
+
+        // The policy observes the slot *before* income is credited,
+        // matching the reference evaluation order.
+        let ctx = SlotCtx {
+            slot: s,
+            slot_of_day: s % slots_per_day,
+            slots_per_day,
+            day: s / slots_per_day,
+            slot_seconds: config.slot,
+            battery,
+            capacity: config.battery_capacity,
+            battery_fraction: battery / config.battery_capacity,
+            harvest_power,
+            active_power: config.active_power,
+            sleep_power: config.sleep_power,
+            discharged,
+        };
+        let duty = eval.duty(&ctx);
+
+        // Income first (harvest accrues during the slot either way).
+        battery += harvest;
+        if battery > config.battery_capacity {
+            wasted += battery - config.battery_capacity;
+            battery = config.battery_capacity;
+        }
+
+        let demand = (duty * config.active_power + (1.0 - duty) * config.sleep_power) * config.slot;
+        let sleep_only = config.sleep_power * config.slot;
+        if battery >= demand {
+            battery -= demand;
+            discharged += demand;
+            work += duty * config.slot;
+        } else {
+            dead_slots += 1;
+            let before = battery;
+            battery = (battery - sleep_only).max(0.0);
+            discharged += before - battery;
+        }
+        min_battery = min_battery.min(battery);
+    }
+
+    let derate_events = eval.derate_events();
+    mns_telemetry::counter_add("wsn.policy_evals", total_slots);
+    if derate_events > 0 {
+        mns_telemetry::counter_add("wsn.derate_events", derate_events);
+    }
+
+    HarvestStats {
+        work,
+        dead_slots,
+        total_slots,
+        uptime: 1.0 - dead_slots as f64 / total_slots as f64,
+        wasted,
+        min_battery,
+        harvested,
+        final_battery: battery,
+        policy_evals: total_slots,
+        derate_events,
+        cycles: discharged / config.battery_capacity,
     }
 }
 
@@ -304,6 +396,52 @@ mod tests {
         };
         let stats = simulate_harvesting(DutyPolicy::Fixed(0.01), &cfg);
         assert!(stats.wasted > 0.0, "tiny battery must overflow at noon");
+    }
+
+    #[test]
+    fn policy_engine_primitives_match_reference_loop() {
+        let cfg = HarvestConfig::default();
+        for reference in [
+            DutyPolicy::Fixed(0.4),
+            DutyPolicy::Greedy {
+                threshold: 0.3,
+                duty_high: 0.9,
+                duty_low: 0.05,
+            },
+            DutyPolicy::EnergyNeutral { alpha: 0.01 },
+        ] {
+            let want = simulate_harvesting(reference, &cfg);
+            let got = simulate_policy(&PolicyExpr::from(reference), &cfg);
+            assert_eq!(want, got, "{}", reference.label());
+        }
+    }
+
+    #[test]
+    fn derate_combinator_reduces_work_and_counts_events() {
+        let cfg = HarvestConfig::default();
+        let plain = simulate_policy(&PolicyExpr::Fixed(0.6), &cfg);
+        let derated = simulate_policy(
+            &PolicyExpr::derate(PolicyExpr::Fixed(0.6), 0.3, 0.2).unwrap(),
+            &cfg,
+        );
+        assert!(derated.work < plain.work);
+        assert!(derated.derate_events > 0);
+        assert_eq!(plain.derate_events, 0);
+        assert_eq!(plain.policy_evals, plain.total_slots);
+    }
+
+    #[test]
+    fn cycles_track_cumulative_discharge() {
+        let cfg = HarvestConfig {
+            days: 5,
+            ..HarvestConfig::default()
+        };
+        let s = simulate_harvesting(DutyPolicy::Fixed(0.5), &cfg);
+        assert!(s.cycles > 0.0);
+        // Energy conservation bounds the equivalent cycles: a node cannot
+        // discharge more than its initial charge plus everything stored.
+        let max_in = cfg.battery_capacity * cfg.initial_fraction + s.harvested;
+        assert!(s.cycles <= max_in / cfg.battery_capacity + 1e-9);
     }
 
     #[test]

@@ -17,7 +17,13 @@
 //! * [`sim`] — round-based lifetime simulation with failure injection and
 //!   coverage/delivery metrics (experiment E9),
 //! * [`harvest`] — solar harvesting traces and duty-cycle management
-//!   policies: fixed, greedy, and energy-neutral EWMA (experiment E10).
+//!   (experiment E10): the retained reference loop over the historical
+//!   fixed/greedy/energy-neutral [`harvest::DutyPolicy`] enum, and
+//!   [`harvest::simulate_policy`] driving the same physics from a
+//!   composable `mns_policy::PolicyExpr` (forecast EWMA, battery-health
+//!   derating, hysteresis, schedules, clamps). Multi-node lifetime runs
+//!   accept per-node heterogeneous policies via
+//!   `LifetimeConfig::policies`.
 //!
 //! ## Example
 //!

@@ -10,13 +10,15 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use mns_policy::{Evaluator, Policy, PolicyAssignment, SlotCtx};
+
 use crate::field::Field;
 use crate::harvest::SolarModel;
 use crate::protocol::Protocol;
 use crate::radio::RadioModel;
 
 /// Lifetime-simulation parameters.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LifetimeConfig {
     /// Initial battery per node (J).
     pub initial_energy: f64,
@@ -35,6 +37,13 @@ pub struct LifetimeConfig {
     /// `solar.power(t) · panel_scale · round_seconds` joules
     /// ("eliminate energy dependence", keynote slide 5).
     pub harvesting: Option<(SolarModel, f64, f64)>,
+    /// Optional per-node run-time energy-management policies. When set,
+    /// each live node evaluates its policy every round and the resulting
+    /// duty cycle gates how often it *sources* a sample (via a
+    /// deterministic duty accumulator); idle nodes still relay for their
+    /// neighbours. `None` reproduces the historical always-active
+    /// behaviour bit for bit.
+    pub policies: Option<PolicyAssignment>,
 }
 
 impl Default for LifetimeConfig {
@@ -47,6 +56,7 @@ impl Default for LifetimeConfig {
             sensing_radius: 15.0,
             seed: 1,
             harvesting: None,
+            policies: None,
         }
     }
 }
@@ -85,6 +95,31 @@ pub fn simulate_lifetime(
     let mut last_head: Vec<i64> = vec![i64::MIN / 2; n];
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
 
+    // Per-node policy engine state (only when heterogeneous policies are
+    // configured — `None` keeps the historical always-active code path).
+    let mut evaluators: Option<Vec<Evaluator>> = config.policies.as_ref().map(|assignment| {
+        (0..n)
+            .map(|i| assignment.policy_for(i).evaluator())
+            .collect()
+    });
+    // Deterministic duty gating: a node sources a sample whenever its
+    // accumulated duty crosses 1.0. Seeded at 1.0 so every node is active
+    // in round 0 regardless of policy.
+    let mut duty_acc = vec![1.0f64; n];
+    let mut discharged = vec![0.0f64; n];
+    let mut policy_evals = 0u64;
+    let round_seconds = config
+        .harvesting
+        .map(|(_, _, rs)| rs)
+        .unwrap_or(60.0)
+        .max(1e-9);
+    let rounds_per_day = ((config
+        .harvesting
+        .map(|(solar, _, _)| solar.day_length)
+        .unwrap_or(86_400.0)
+        / round_seconds) as u64)
+        .max(1);
+
     // Cached BFS routing tree for the Tree protocol, rebuilt only when
     // the live set changes (tree construction is O(live²) distance
     // checks — the hot spot of long runs).
@@ -122,7 +157,52 @@ pub fn simulate_lifetime(
             coverage_acc += field.coverage(&alive_mask, config.sensing_radius);
             coverage_samples += 1;
         }
-        sensed += live.len() as u64;
+
+        // Per-node duty decisions: each live node observes its own state
+        // (pre-income, like the harvest reference loop) and its duty
+        // accumulator decides whether it sources a sample this round.
+        // Idle nodes still relay for their neighbours.
+        let mut active = vec![true; n];
+        if let Some(evals) = evaluators.as_mut() {
+            let t = round as f64 * round_seconds;
+            let capacity = config.initial_energy;
+            for &i in &live {
+                let harvest_power = match config.harvesting {
+                    Some((solar, panel_scale, _)) => solar.power(t, config.seed) * panel_scale,
+                    None => 0.0,
+                };
+                // Reference power scale for EWMA-family policies: the
+                // cost rate of this node reporting directly every round.
+                let active_power = config.radio.tx(field.to_sink(i)) / round_seconds;
+                let ctx = SlotCtx {
+                    slot: round,
+                    slot_of_day: round % rounds_per_day,
+                    slots_per_day: rounds_per_day,
+                    day: round / rounds_per_day,
+                    slot_seconds: round_seconds,
+                    battery: battery[i],
+                    capacity,
+                    battery_fraction: if capacity > 0.0 {
+                        battery[i] / capacity
+                    } else {
+                        0.0
+                    },
+                    harvest_power,
+                    active_power,
+                    sleep_power: 0.0,
+                    discharged: discharged[i],
+                };
+                let duty = evals[i].duty(&ctx);
+                policy_evals += 1;
+                duty_acc[i] += duty;
+                if duty_acc[i] >= 1.0 {
+                    duty_acc[i] -= 1.0;
+                } else {
+                    active[i] = false;
+                }
+            }
+        }
+        sensed += live.iter().filter(|&&i| active[i]).count() as u64;
 
         // Energy bookkeeping for this round.
         let mut spend = vec![0.0f64; n];
@@ -130,8 +210,10 @@ pub fn simulate_lifetime(
         match protocol {
             Protocol::Direct => {
                 for &i in &live {
-                    spend[i] += config.radio.tx(field.to_sink(i));
-                    reached += 1;
+                    if active[i] {
+                        spend[i] += config.radio.tx(field.to_sink(i));
+                        reached += 1;
+                    }
                 }
             }
             Protocol::Tree {
@@ -181,14 +263,14 @@ pub fn simulate_lifetime(
                 // Leaf-to-root accumulation: process deepest first.
                 let mut carrying: Vec<u64> = vec![0; n];
                 for &i in &live {
-                    if depth[i] != u64::MAX {
+                    if depth[i] != u64::MAX && active[i] {
                         carrying[i] += 1; // own sample
                     }
-                    // Unattached nodes sense but cannot deliver.
+                    // Unattached nodes sense but cannot deliver; idle
+                    // nodes relay without sourcing a sample.
                 }
                 let mut by_depth = order.clone();
                 by_depth.sort_by_key(|&i| std::cmp::Reverse(depth[i]));
-                let order_len = order.len();
                 for &i in &by_depth {
                     let packets = if aggregate { 1 } else { carrying[i] };
                     if packets == 0 {
@@ -216,9 +298,10 @@ pub fn simulate_lifetime(
                     }
                 }
                 if aggregate {
-                    // With aggregation each attached node's sample is
-                    // represented in some root aggregate.
-                    reached = order_len as u64;
+                    // With aggregation each attached *active* node's
+                    // sample is represented in some root aggregate
+                    // (every attached node when no policies gate duty).
+                    reached = order.iter().filter(|&&i| active[i]).count() as u64;
                 }
             }
             Protocol::Cluster { p, aggregate } => {
@@ -245,10 +328,11 @@ pub fn simulate_lifetime(
                     heads.push(i);
                     last_head[i] = round as i64;
                 }
-                // Members join the nearest head.
+                // Members join the nearest head. Idle members have no
+                // sample to report this round, so they stay silent.
                 let mut members: Vec<u64> = vec![0; n];
                 for &i in &live {
-                    if heads.contains(&i) {
+                    if heads.contains(&i) || !active[i] {
                         continue;
                     }
                     let h = *heads
@@ -267,7 +351,10 @@ pub fn simulate_lifetime(
                     members[h] += 1;
                 }
                 for &h in &heads {
-                    let cluster_packets = members[h] + 1;
+                    let cluster_packets = members[h] + u64::from(active[h]);
+                    if cluster_packets == 0 {
+                        continue;
+                    }
                     if aggregate {
                         spend[h] += config.radio.aggregate() * members[h] as f64;
                         spend[h] += config.radio.tx(field.to_sink(h));
@@ -296,7 +383,9 @@ pub fn simulate_lifetime(
                 // A node can only draw the charge it actually holds: in its
                 // death round the radio bill is truncated by the battery
                 // running dry, so total spend never exceeds total capacity.
-                energy_spent += spend[i].min(battery[i].max(0.0));
+                let drawn = spend[i].min(battery[i].max(0.0));
+                energy_spent += drawn;
+                discharged[i] += drawn;
                 battery[i] -= spend[i];
             }
         }
@@ -314,6 +403,17 @@ pub fn simulate_lifetime(
         }
     }
     mns_telemetry::counter_add("wsn.rounds", round);
+    if policy_evals > 0 {
+        mns_telemetry::counter_add("wsn.policy_evals", policy_evals);
+        let derated: u64 = evaluators
+            .iter()
+            .flatten()
+            .map(Evaluator::derate_events)
+            .sum();
+        if derated > 0 {
+            mns_telemetry::counter_add("wsn.derate_events", derated);
+        }
+    }
 
     LifetimeStats {
         first_death_round: first_death.unwrap_or(round),
@@ -408,7 +508,7 @@ mod tests {
         };
         let with_failures = LifetimeConfig {
             failure_rate: 0.002,
-            ..base
+            ..base.clone()
         };
         let healthy = simulate_lifetime(&f, Protocol::cluster(0.05, true), &base);
         let failing = simulate_lifetime(&f, Protocol::cluster(0.05, true), &with_failures);
@@ -469,6 +569,74 @@ mod tests {
             stats.first_death_round, cfg.max_rounds,
             "no node should die with abundant harvest"
         );
+    }
+
+    #[test]
+    fn always_on_policy_is_bit_identical_to_no_policy() {
+        use mns_policy::{PolicyAssignment, PolicyExpr};
+        let f = small_field();
+        let base = LifetimeConfig {
+            max_rounds: 800,
+            ..LifetimeConfig::default()
+        };
+        let gated = LifetimeConfig {
+            policies: Some(PolicyAssignment::Uniform(PolicyExpr::Fixed(1.0))),
+            ..base.clone()
+        };
+        for protocol in [
+            Protocol::Direct,
+            Protocol::tree(45.0, true),
+            Protocol::cluster(0.1, true),
+        ] {
+            let a = simulate_lifetime(&f, protocol, &base);
+            let b = simulate_lifetime(&f, protocol, &gated);
+            assert_eq!(a, b, "duty 1.0 must reproduce the ungated run");
+        }
+    }
+
+    #[test]
+    fn half_duty_halves_sensing_and_stretches_lifetime() {
+        use mns_policy::{PolicyAssignment, PolicyExpr};
+        let f = small_field();
+        let base = LifetimeConfig {
+            max_rounds: 5_000,
+            ..LifetimeConfig::default()
+        };
+        let throttled = LifetimeConfig {
+            policies: Some(PolicyAssignment::Uniform(PolicyExpr::Fixed(0.5))),
+            ..base.clone()
+        };
+        let full = simulate_lifetime(&f, Protocol::Direct, &base);
+        let half = simulate_lifetime(&f, Protocol::Direct, &throttled);
+        // Half the duty → roughly half the per-round sensing, but the
+        // energy saved keeps nodes alive longer.
+        assert!(half.first_death_round > full.first_death_round);
+        let full_rate = full.sensed as f64 / full.rounds as f64;
+        let half_rate = half.sensed as f64 / half.rounds as f64;
+        assert!(
+            half_rate < 0.6 * full_rate,
+            "half-duty rate {half_rate} vs full rate {full_rate}"
+        );
+    }
+
+    #[test]
+    fn heterogeneous_assignment_is_deterministic() {
+        use mns_policy::{PolicyAssignment, PolicyExpr};
+        let f = small_field();
+        let cfg = LifetimeConfig {
+            max_rounds: 600,
+            policies: Some(PolicyAssignment::RoundRobin(vec![
+                PolicyExpr::Fixed(1.0),
+                PolicyExpr::greedy(0.5, 1.0, 0.25).unwrap(),
+                PolicyExpr::hysteresis(0.2, 0.6, PolicyExpr::Fixed(1.0), PolicyExpr::Fixed(0.2))
+                    .unwrap(),
+            ])),
+            ..LifetimeConfig::default()
+        };
+        let a = simulate_lifetime(&f, Protocol::cluster(0.1, true), &cfg);
+        let b = simulate_lifetime(&f, Protocol::cluster(0.1, true), &cfg);
+        assert_eq!(a, b);
+        assert!(a.sensed > 0 && a.delivered > 0);
     }
 
     #[test]

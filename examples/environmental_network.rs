@@ -62,7 +62,7 @@ fn main() {
             Protocol::cluster(0.1, true),
             &LifetimeConfig {
                 failure_rate: rate,
-                ..cfg
+                ..cfg.clone()
             },
         );
         f.row_owned(vec![

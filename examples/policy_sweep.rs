@@ -1,0 +1,181 @@
+//! A9 — composable energy-policy sweep: policy × irradiance profile.
+//!
+//! Runs every policy in a small library — the three historical
+//! primitives plus composites built from the `mns-policy` combinators —
+//! against three irradiance profiles (clear alpine, temperate, overcast
+//! winter), and then a mixed-fleet lifetime simulation where half the
+//! nodes run duty-cycled under an energy-neutral composite.
+//!
+//! ```sh
+//! cargo run --release --example policy_sweep
+//! ```
+
+use micronano::core::report::{fmt_f64, Table};
+use micronano::policy::{PolicyAssignment, PolicyExpr};
+use micronano::wsn::field::Field;
+use micronano::wsn::harvest::{simulate_policy, HarvestConfig, SolarModel};
+use micronano::wsn::protocol::Protocol;
+use micronano::wsn::sim::{simulate_lifetime, LifetimeConfig};
+
+/// The policy library swept by A9. Labels come from `PolicyExpr::label`.
+fn library() -> Vec<PolicyExpr> {
+    vec![
+        PolicyExpr::Fixed(0.9),
+        PolicyExpr::Fixed(0.05),
+        PolicyExpr::greedy(0.3, 0.9, 0.05).unwrap(),
+        PolicyExpr::energy_neutral(0.01).unwrap(),
+        PolicyExpr::forecast(0.2).unwrap(),
+        // Energy-neutral with battery-health derating and a service floor.
+        PolicyExpr::clamp(
+            PolicyExpr::derate(PolicyExpr::energy_neutral(0.01).unwrap(), 0.05, 0.5).unwrap(),
+            0.02,
+            1.0,
+        )
+        .unwrap(),
+        // Conservation mode below 25 % charge, back to normal above 60 %.
+        PolicyExpr::hysteresis(
+            0.25,
+            0.6,
+            PolicyExpr::energy_neutral(0.01).unwrap(),
+            PolicyExpr::Fixed(0.05),
+        )
+        .unwrap(),
+    ]
+}
+
+fn profiles() -> Vec<(&'static str, SolarModel)> {
+    vec![
+        (
+            "clear",
+            SolarModel {
+                peak_power: 0.08,
+                day_length: 86_400.0,
+                cloudiness: 0.1,
+            },
+        ),
+        ("temperate", SolarModel::default()),
+        (
+            "overcast",
+            SolarModel {
+                peak_power: 0.03,
+                day_length: 86_400.0,
+                cloudiness: 0.9,
+            },
+        ),
+    ]
+}
+
+fn main() {
+    println!("A9 — composable energy-policy sweep (30 days per cell)\n");
+
+    let mut t = Table::new(
+        "policy-sweep",
+        "uptime % / useful work (h) per policy × irradiance profile",
+        &["policy", "clear", "temperate", "overcast"],
+    );
+    for policy in library() {
+        let name = if let PolicyExpr::Fixed(d) = &policy {
+            format!("fixed({d})")
+        } else {
+            policy.label()
+        };
+        let mut row = vec![name];
+        for (_, solar) in profiles() {
+            let cfg = HarvestConfig {
+                solar,
+                ..HarvestConfig::default()
+            };
+            let s = simulate_policy(&policy, &cfg);
+            row.push(format!(
+                "{} / {}",
+                fmt_f64(s.uptime * 100.0),
+                fmt_f64(s.work / 3600.0)
+            ));
+        }
+        t.row_owned(row);
+    }
+    println!("{t}");
+
+    let mut d = Table::new(
+        "derate",
+        "battery-health derating on the overcast profile",
+        &[
+            "policy",
+            "derate events",
+            "equiv. cycles",
+            "min battery (J)",
+        ],
+    );
+    let (_, overcast) = profiles().pop().map(|p| (p.0, p.1)).unwrap();
+    let cfg = HarvestConfig {
+        solar: overcast,
+        days: 90,
+        ..HarvestConfig::default()
+    };
+    for policy in [
+        PolicyExpr::energy_neutral(0.01).unwrap(),
+        PolicyExpr::derate(PolicyExpr::energy_neutral(0.01).unwrap(), 0.05, 0.5).unwrap(),
+        PolicyExpr::derate(PolicyExpr::Fixed(0.9), 0.05, 0.5).unwrap(),
+    ] {
+        let s = simulate_policy(&policy, &cfg);
+        d.row_owned(vec![
+            policy.label(),
+            s.derate_events.to_string(),
+            fmt_f64(s.cycles),
+            fmt_f64(s.min_battery),
+        ]);
+    }
+    println!("{d}");
+
+    // Mixed fleet: alternate full-power and energy-neutral nodes and
+    // compare against the all-on baseline.
+    let field = Field::random(120, 180.0, 11);
+    let base = LifetimeConfig {
+        max_rounds: 3_000,
+        ..LifetimeConfig::default()
+    };
+    let mut f = Table::new(
+        "fleet",
+        "mixed-fleet lifetime under cluster+agg collection",
+        &["assignment", "first death", "half dead", "avg coverage %"],
+    );
+    let assignments: Vec<(String, Option<PolicyAssignment>)> = vec![
+        ("none (always on)".to_owned(), None),
+        (
+            "uniform energy-neutral".to_owned(),
+            Some(PolicyAssignment::Uniform(
+                PolicyExpr::energy_neutral(0.01).unwrap(),
+            )),
+        ),
+        (
+            "alternating full / neutral".to_owned(),
+            Some(PolicyAssignment::RoundRobin(vec![
+                PolicyExpr::Fixed(1.0),
+                PolicyExpr::energy_neutral(0.01).unwrap(),
+            ])),
+        ),
+    ];
+    for (name, policies) in assignments {
+        let s = simulate_lifetime(
+            &field,
+            Protocol::cluster(0.1, true),
+            &LifetimeConfig {
+                policies,
+                ..base.clone()
+            },
+        );
+        f.row_owned(vec![
+            name,
+            s.first_death_round.to_string(),
+            s.half_death_round.to_string(),
+            fmt_f64(s.avg_coverage * 100.0),
+        ]);
+    }
+    println!("{f}");
+    println!(
+        "reading: the composable engine keeps the energy-neutral shape\n\
+         (high uptime at high work) across profiles; derating trades a\n\
+         little work for bounded battery wear; and duty-cycling even half\n\
+         the fleet defers first death without hurting coverage."
+    );
+}

@@ -22,8 +22,8 @@ use micronano::core::runner::{
     NocScenario, Runner, Scenario, WsnScenario,
 };
 use micronano::noc::graph::CommGraph;
+use micronano::policy::PolicyExpr;
 use micronano::telemetry;
-use micronano::wsn::harvest::DutyPolicy;
 use micronano::wsn::protocol::Protocol;
 
 fn mixed_batch() -> Vec<Scenario> {
@@ -49,9 +49,10 @@ fn mixed_batch() -> Vec<Scenario> {
             failure_rate: 0.0,
             max_rounds: 400,
             seed: 3,
+            policies: None,
         }),
         Scenario::Harvest(HarvestScenario {
-            policy: DutyPolicy::EnergyNeutral { alpha: 0.01 },
+            policy: PolicyExpr::EnergyNeutral { alpha: 0.01 },
             days: 10,
             cloudiness: 0.4,
             seed: 5,

@@ -55,6 +55,7 @@ pub use mns_dist as dist;
 pub use mns_fluidics as fluidics;
 pub use mns_grn as grn;
 pub use mns_noc as noc;
+pub use mns_policy as policy;
 pub use mns_sim as sim;
 pub use mns_telemetry as telemetry;
 pub use mns_wsn as wsn;

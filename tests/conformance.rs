@@ -20,7 +20,7 @@ use micronano::core::runner::{
     NocScenario, Runner, RunnerConfig, Scenario, WsnScenario,
 };
 use micronano::noc::graph::CommGraph;
-use micronano::wsn::harvest::DutyPolicy;
+use micronano::policy::{PolicyAssignment, PolicyExpr};
 use micronano::wsn::protocol::Protocol;
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
@@ -163,6 +163,45 @@ fn cached_replay_is_byte_identical_to_fresh_run() {
     assert_eq!(runner.stats().cache_hits, corpus.len() as u64);
 }
 
+/// Draws a random (always-valid) policy expression: primitives at any
+/// depth, combinators until the depth budget runs out.
+fn random_policy(rng: &mut ChaCha8Rng, depth: usize) -> PolicyExpr {
+    let variants = if depth >= 2 { 3 } else { 7u8 };
+    match rng.gen_range(0..variants) {
+        0 => PolicyExpr::Fixed(rng.gen_range(0.0..1.0)),
+        1 => PolicyExpr::Greedy {
+            threshold: rng.gen_range(0.1..0.5),
+            duty_high: rng.gen_range(0.5..1.0),
+            duty_low: rng.gen_range(0.0..0.1),
+        },
+        2 => PolicyExpr::EnergyNeutral {
+            alpha: rng.gen_range(0.001..0.1),
+        },
+        3 => PolicyExpr::Forecast {
+            alpha: rng.gen_range(0.01..0.5),
+        },
+        4 => PolicyExpr::Derate {
+            inner: Box::new(random_policy(rng, depth + 1)),
+            fade: rng.gen_range(0.0..0.5),
+            floor: rng.gen_range(0.0..0.5),
+        },
+        5 => {
+            let low = rng.gen_range(0.05..0.4);
+            PolicyExpr::Hysteresis {
+                low,
+                high: rng.gen_range(low + 0.1..0.95),
+                on: Box::new(random_policy(rng, depth + 1)),
+                off: Box::new(random_policy(rng, depth + 1)),
+            }
+        }
+        _ => PolicyExpr::Clamp {
+            inner: Box::new(random_policy(rng, depth + 1)),
+            lo: rng.gen_range(0.0..0.3),
+            hi: rng.gen_range(0.5..1.0),
+        },
+    }
+}
+
 /// Builds a random batch of *cheap* scenarios — every family except the
 /// full lab-on-chip pipeline (too slow for a proptest inner loop), with
 /// deliberate duplicates so the differential test also exercises
@@ -172,17 +211,7 @@ fn random_batch(seed: u64, len: usize) -> Vec<Scenario> {
     let mut batch: Vec<Scenario> = (0..len)
         .map(|_| match rng.gen_range(0..5u8) {
             0 => Scenario::Harvest(HarvestScenario {
-                policy: match rng.gen_range(0..3u8) {
-                    0 => DutyPolicy::Fixed(rng.gen_range(0.0..1.0)),
-                    1 => DutyPolicy::Greedy {
-                        threshold: rng.gen_range(0.1..0.5),
-                        duty_high: rng.gen_range(0.5..1.0),
-                        duty_low: rng.gen_range(0.0..0.1),
-                    },
-                    _ => DutyPolicy::EnergyNeutral {
-                        alpha: rng.gen_range(0.001..0.1),
-                    },
-                },
+                policy: random_policy(&mut rng, 0),
                 days: rng.gen_range(1..4),
                 cloudiness: rng.gen_range(0.0..1.0),
                 seed: rng.gen_range(0..1_000),
@@ -198,6 +227,15 @@ fn random_batch(seed: u64, len: usize) -> Vec<Scenario> {
                 failure_rate: rng.gen_range(0.0..0.01),
                 max_rounds: rng.gen_range(50..200),
                 seed: rng.gen_range(0..1_000),
+                policies: match rng.gen_range(0..3u8) {
+                    0 => None,
+                    1 => Some(PolicyAssignment::Uniform(random_policy(&mut rng, 0))),
+                    _ => Some(PolicyAssignment::RoundRobin(
+                        (0..rng.gen_range(1..4usize))
+                            .map(|_| random_policy(&mut rng, 0))
+                            .collect(),
+                    )),
+                },
             }),
             2 => Scenario::Knockout(KnockoutScenario {
                 model: if rng.gen() {

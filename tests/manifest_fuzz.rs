@@ -16,9 +16,14 @@
 use std::sync::OnceLock;
 
 use micronano::core::runner::manifest::{
-    decode_outcome, decode_scenario, parse_manifest, parse_outcomes, write_manifest, write_outcomes,
+    decode_outcome, decode_scenario, encode_scenario, parse_manifest, parse_outcomes,
+    write_manifest, write_outcomes,
 };
-use micronano::core::runner::{conformance_corpus, Runner, Scenario, ScenarioOutcome, ShardId};
+use micronano::core::runner::{
+    conformance_corpus, HarvestScenario, Runner, Scenario, ScenarioOutcome, ShardId, WsnScenario,
+};
+use micronano::policy::{PolicyAssignment, PolicyExpr};
+use micronano::wsn::protocol::Protocol;
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -47,6 +52,90 @@ fn base_outcomes() -> &'static str {
         let pairs: Vec<(usize, ScenarioOutcome)> = (0..corpus.len()).zip(report.outcomes).collect();
         write_outcomes(&report.stats, &pairs)
     })
+}
+
+/// Random (always-valid) policy expression — primitives at any depth,
+/// combinators until the depth budget runs out. Mirrors the generator in
+/// `tests/conformance.rs` so the fuzzed records cover every wire token.
+fn random_policy(rng: &mut ChaCha8Rng, depth: usize) -> PolicyExpr {
+    let variants = if depth >= 2 { 3 } else { 8u8 };
+    match rng.gen_range(0..variants) {
+        0 => PolicyExpr::Fixed(rng.gen_range(0.0..1.0)),
+        1 => PolicyExpr::Greedy {
+            threshold: rng.gen_range(0.1..0.5),
+            duty_high: rng.gen_range(0.5..1.0),
+            duty_low: rng.gen_range(0.0..0.1),
+        },
+        2 => PolicyExpr::EnergyNeutral {
+            alpha: rng.gen_range(0.001..0.1),
+        },
+        3 => PolicyExpr::Forecast {
+            alpha: rng.gen_range(0.01..0.5),
+        },
+        4 => PolicyExpr::Derate {
+            inner: Box::new(random_policy(rng, depth + 1)),
+            fade: rng.gen_range(0.0..0.5),
+            floor: rng.gen_range(0.0..0.5),
+        },
+        5 => {
+            let low = rng.gen_range(0.05..0.4);
+            PolicyExpr::Hysteresis {
+                low,
+                high: rng.gen_range(low + 0.1..0.95),
+                on: Box::new(random_policy(rng, depth + 1)),
+                off: Box::new(random_policy(rng, depth + 1)),
+            }
+        }
+        6 => {
+            let mut start = 0u64;
+            let pieces = (0..rng.gen_range(1..4usize))
+                .map(|k| {
+                    if k > 0 {
+                        start += rng.gen_range(1..10u64);
+                    }
+                    (start, random_policy(rng, depth + 1))
+                })
+                .collect();
+            PolicyExpr::Scheduled { pieces }
+        }
+        _ => PolicyExpr::Clamp {
+            inner: Box::new(random_policy(rng, depth + 1)),
+            lo: rng.gen_range(0.0..0.3),
+            hi: rng.gen_range(0.5..1.0),
+        },
+    }
+}
+
+/// A policy-heavy scenario record: either a harvest run under a deep
+/// composite expression or a lifetime run with a per-node assignment.
+fn random_policy_record(rng: &mut ChaCha8Rng) -> String {
+    let scenario = if rng.gen() {
+        Scenario::Harvest(HarvestScenario {
+            policy: random_policy(rng, 0),
+            days: rng.gen_range(1..5),
+            cloudiness: rng.gen_range(0.0..1.0),
+            seed: rng.gen_range(0..1_000),
+        })
+    } else {
+        Scenario::WsnLifetime(WsnScenario {
+            nodes: rng.gen_range(10..40),
+            side: rng.gen_range(60.0..200.0),
+            protocol: Protocol::cluster(0.1, true),
+            failure_rate: rng.gen_range(0.0..0.01),
+            max_rounds: rng.gen_range(50..300),
+            seed: rng.gen_range(0..1_000),
+            policies: match rng.gen_range(0..3u8) {
+                0 => None,
+                1 => Some(PolicyAssignment::Uniform(random_policy(rng, 0))),
+                _ => Some(PolicyAssignment::RoundRobin(
+                    (0..rng.gen_range(1..5usize))
+                        .map(|_| random_policy(rng, 0))
+                        .collect(),
+                )),
+            },
+        })
+    };
+    encode_scenario(&scenario)
 }
 
 /// Applies `count` random mutations — overwrite, truncate or splice —
@@ -116,6 +205,66 @@ proptest! {
         let len = rng.gen_range(0..512usize);
         let bytes: Vec<u8> = (0..len).map(|_| rng.gen::<u8>()).collect();
         parse_everything(&String::from_utf8_lossy(&bytes));
+    }
+
+    // Policy-expression tokens survive arbitrary byte mutations: the
+    // decoder either returns an error or a *validated* scenario — it
+    // must never panic and never accept a policy that fails validation.
+    #[test]
+    fn mutated_policy_records_never_panic(seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let record = random_policy_record(&mut rng);
+        let count = rng.gen_range(1..16usize);
+        let mutated = mutate(&record, &mut rng, count);
+        if let Ok(scenario) = decode_scenario(&mutated) {
+            match &scenario {
+                Scenario::Harvest(h) => assert!(h.policy.validate().is_ok()),
+                Scenario::WsnLifetime(w) => {
+                    if let Some(a) = &w.policies {
+                        assert!(a.validate().is_ok());
+                    }
+                }
+                _ => {}
+            }
+        }
+        parse_everything(&mutated);
+    }
+
+    // Garbage spliced specifically into the policy-token tail of a
+    // record (the part after the scenario discriminant) never panics.
+    #[test]
+    fn garbage_policy_tails_never_panic(seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let record = random_policy_record(&mut rng);
+        let mut cut = rng.gen_range(0..=record.len());
+        while !record.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let tail_len = rng.gen_range(0..24usize);
+        let tokens = ["fixed", "greedy", "neutral", "forecast", "derate", "hyst",
+                      "sched", "clamp", "policies", "uniform", "mix", "nan", "inf",
+                      "-1", "0.5", "1e308", "99999999999999999999", ""];
+        let mut garbled = record[..cut].to_owned();
+        for _ in 0..tail_len {
+            garbled.push(' ');
+            garbled.push_str(tokens[rng.gen_range(0..tokens.len())]);
+        }
+        let _ = decode_scenario(&garbled);
+        parse_everything(&garbled);
+    }
+
+    // Unmutated policy records round-trip byte-identically: decode then
+    // re-encode reproduces the exact wire bytes.
+    #[test]
+    fn policy_records_round_trip_byte_identically(seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let record = random_policy_record(&mut rng);
+        let decoded = decode_scenario(&record).expect("valid record decodes");
+        prop_assert_eq!(
+            encode_scenario(&decoded),
+            record,
+            "re-encoding drifted from the original wire bytes"
+        );
     }
 }
 

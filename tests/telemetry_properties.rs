@@ -24,8 +24,8 @@ use micronano::core::runner::{
     NocScenario, Runner, RunnerConfig, Scenario, ScenarioOutcome, WsnScenario,
 };
 use micronano::noc::graph::CommGraph;
+use micronano::policy::PolicyExpr;
 use micronano::telemetry;
-use micronano::wsn::harvest::DutyPolicy;
 use micronano::wsn::protocol::Protocol;
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
@@ -80,7 +80,7 @@ fn cheap_batch(seed: u64, len: usize) -> Vec<Scenario> {
     let mut batch: Vec<Scenario> = (0..len)
         .map(|_| match rng.gen_range(0..5u8) {
             0 => Scenario::Harvest(HarvestScenario {
-                policy: DutyPolicy::Fixed(rng.gen_range(0.0..1.0)),
+                policy: PolicyExpr::Fixed(rng.gen_range(0.0..1.0)),
                 days: rng.gen_range(1..4),
                 cloudiness: rng.gen_range(0.0..1.0),
                 seed: rng.gen_range(0..1_000),
@@ -96,6 +96,7 @@ fn cheap_batch(seed: u64, len: usize) -> Vec<Scenario> {
                 failure_rate: 0.0,
                 max_rounds: rng.gen_range(50..150),
                 seed: rng.gen_range(0..1_000),
+                policies: None,
             }),
             2 => Scenario::Knockout(KnockoutScenario {
                 model: GrnModel::THelper,
